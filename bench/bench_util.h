@@ -1,0 +1,63 @@
+// Shared plumbing for the table/figure reproduction harnesses.
+//
+// Every bench prints the paper's rows (plus paper-reference values
+// where the paper states them), writes a CSV next to the binary, and
+// honours two environment variables:
+//
+//   ICKPT_BENCH_SCALE   footprint scale (default 1/16)
+//   ICKPT_BENCH_QUICK   if set non-empty, shorter runs / fewer points
+#pragma once
+
+#include <cstdlib>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "common/table.h"
+#include "common/units.h"
+#include "core/study.h"
+
+namespace ickpt::bench {
+
+inline double bench_scale() {
+  if (const char* env = std::getenv("ICKPT_BENCH_SCALE")) {
+    double v = std::atof(env);
+    if (v > 0) return v;
+  }
+  return 1.0 / 16.0;
+}
+
+inline bool quick_mode() {
+  const char* env = std::getenv("ICKPT_BENCH_QUICK");
+  return env != nullptr && env[0] != '\0';
+}
+
+/// Unscale a measured byte quantity back to paper-equivalent MB.
+inline double paper_mb(double bytes, double scale) {
+  return bytes / static_cast<double>(kMB) / scale;
+}
+
+inline StudyResult must_run(StudyConfig cfg) {
+  auto r = run_study(cfg);
+  if (!r.is_ok()) {
+    std::cerr << "study failed for " << cfg.app << ": "
+              << r.status().to_string() << "\n";
+    std::exit(1);
+  }
+  return std::move(r.value());
+}
+
+inline void finish(TextTable& table, const std::string& csv_name) {
+  table.print(std::cout);
+  if (table.write_csv(csv_name)) {
+    std::cout << "csv: " << csv_name << "\n";
+  }
+}
+
+/// Timeslices used by the figure sweeps (paper: 1 s .. 20 s).
+inline std::vector<double> timeslice_sweep() {
+  if (quick_mode()) return {1, 5, 20};
+  return {1, 2, 5, 10, 15, 20};
+}
+
+}  // namespace ickpt::bench

@@ -1,0 +1,31 @@
+// Reproduces Figure 2 (a-f): maximum and average IB required for
+// checkpointing Sage-1000MB, Sweep3D, BT, SP, FT and LU as a function
+// of the checkpoint timeslice (1 s .. 20 s).
+#include "bench/bench_util.h"
+
+#include "apps/catalog.h"
+
+using namespace ickpt;
+using namespace ickpt::bench;
+
+int main() {
+  const double scale = bench_scale();
+  TextTable table("Figure 2 - IB vs timeslice (MB/s, paper-equivalent)");
+  table.set_header({"Application", "Timeslice (s)", "Avg IB", "Max IB"});
+
+  for (const auto& name : apps::figure2_names()) {
+    for (double tau : timeslice_sweep()) {
+      StudyConfig cfg;
+      cfg.app = name;
+      cfg.timeslice = tau;
+      cfg.footprint_scale = scale;
+      if (quick_mode()) cfg.run_vs = std::max(40.0, 8 * tau);
+      auto r = must_run(cfg);
+      table.add_row({name, TextTable::num(tau, 0),
+                     TextTable::num(paper_mb(r.ib.avg_ib, scale)),
+                     TextTable::num(paper_mb(r.ib.max_ib, scale))});
+    }
+  }
+  finish(table, "fig2_ib_timeslice.csv");
+  return 0;
+}

@@ -1,0 +1,44 @@
+// Reproduces Figure 4: ratio of IWS size to memory image size per
+// timeslice for the Sage footprints — the ratio *decreases* as the
+// footprint grows, which is why IB is sublinear in footprint (§6.4.1).
+#include <map>
+
+#include "bench/bench_util.h"
+
+using namespace ickpt;
+using namespace ickpt::bench;
+
+int main() {
+  const double scale = bench_scale();
+  TextTable table("Figure 4 - IWS / memory image ratio (%)");
+  table.set_header({"Footprint", "Timeslice (s)", "IWS/footprint %"});
+
+  std::map<double, std::vector<double>> by_tau;  // for the trend check
+  for (const char* name :
+       {"sage-1000", "sage-500", "sage-100", "sage-50"}) {
+    for (double tau : timeslice_sweep()) {
+      StudyConfig cfg;
+      cfg.app = name;
+      cfg.timeslice = tau;
+      cfg.footprint_scale = scale;
+      if (quick_mode()) cfg.run_vs = std::max(40.0, 8 * tau);
+      auto r = must_run(cfg);
+      table.add_row({name, TextTable::num(tau, 0),
+                     TextTable::num(r.ib.avg_ratio * 100)});
+      by_tau[tau].push_back(r.ib.avg_ratio);
+    }
+  }
+  finish(table, "fig4_iws_ratio.csv");
+
+  // Trend: at each timeslice, the largest footprint should have the
+  // smallest IWS/footprint ratio (rows above were emitted from large
+  // to small footprint).
+  int confirming = 0, total = 0;
+  for (const auto& [tau, ratios] : by_tau) {
+    ++total;
+    if (ratios.front() <= ratios.back()) ++confirming;
+  }
+  std::cout << "ratio decreases with footprint at " << confirming << "/"
+            << total << " timeslices (paper: all)\n";
+  return 0;
+}

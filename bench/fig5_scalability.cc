@@ -1,0 +1,55 @@
+// Reproduces Figure 5: average per-process IB for Sage-1000MB on 8,
+// 16, 32 and 64 processors (weak scaling).  The paper's key claim:
+// the processor count has no significant influence, and per-process
+// IB is *slightly lower* at larger counts (§6.4.2).
+//
+// Ranks are threads with per-rank footprints, so this bench uses a
+// smaller footprint scale (1/64 by default) to fit 64 ranks in RAM.
+#include <map>
+
+#include "bench/bench_util.h"
+
+using namespace ickpt;
+using namespace ickpt::bench;
+
+int main() {
+  double scale = bench_scale();
+  if (scale > 1.0 / 64.0) scale = 1.0 / 64.0;  // 64 ranks must fit
+
+  TextTable table("Figure 5 - Avg per-process IB for Sage-1000MB (MB/s)");
+  table.set_header({"Procs", "Timeslice (s)", "Avg IB (rank mean)"});
+
+  const std::vector<double> taus =
+      quick_mode() ? std::vector<double>{1, 20}
+                   : std::vector<double>{1, 2, 5, 10, 20};
+  std::map<double, std::vector<double>> by_tau;
+  for (int procs : {8, 16, 32, 64}) {
+    for (double tau : taus) {
+      StudyConfig cfg;
+      cfg.app = "sage-1000";
+      cfg.timeslice = tau;
+      cfg.footprint_scale = scale;
+      cfg.nprocs = procs;
+      // Keep the total write volume tractable: a few iterations is
+      // enough for the average.
+      cfg.run_vs = quick_mode() ? 300.0 : 450.0;
+      auto r = must_run(cfg);
+      double ib = paper_mb(r.mean_rank_avg_ib, scale);
+      table.add_row({std::to_string(procs), TextTable::num(tau, 0),
+                     TextTable::num(ib)});
+      by_tau[tau].push_back(ib);
+    }
+  }
+  finish(table, "fig5_scalability.csv");
+
+  // Trend check: per-process IB at 64 procs <= IB at 8 procs (within
+  // noise), for each timeslice.
+  for (const auto& [tau, series] : by_tau) {
+    double p8 = series.front(), p64 = series.back();
+    std::cout << "tau=" << tau << "s: IB(8)=" << TextTable::num(p8)
+              << " IB(64)=" << TextTable::num(p64)
+              << (p64 <= p8 * 1.05 ? "  [<= as paper]" : "  [unexpected]")
+              << "\n";
+  }
+  return 0;
+}

@@ -1,0 +1,56 @@
+// Reproduces Section 6.6 (Technological Trends): project the measured
+// bandwidth requirement and the device bandwidths forward from 2004
+// and confirm the paper's conclusion that "future improvements in
+// networking and storage will make incremental checkpointing even
+// more effective".
+#include "bench/bench_util.h"
+
+#include "analysis/trends.h"
+
+using namespace ickpt;
+using namespace ickpt::bench;
+
+int main() {
+  const double scale = bench_scale();
+
+  // Anchor the model at the measured Sage-1000MB requirement.
+  StudyConfig cfg;
+  cfg.app = "sage-1000";
+  cfg.timeslice = 1.0;
+  cfg.footprint_scale = scale;
+  if (quick_mode()) cfg.run_vs = 150.0;
+  auto r = must_run(cfg);
+
+  analysis::TrendModel model;
+  model.app_ib0 = r.ib.avg_ib / scale;  // paper-equivalent bytes/s
+  model.network0 = 900.0 * static_cast<double>(kMB);
+  model.storage0 = 320.0 * static_cast<double>(kMB);
+  // Paper anchors: app performance doubles every 2-3 years (~30%/yr);
+  // networking jumps 900 MB/s (2004) -> 10 GB/s Infiniband (2005).
+  model.app_ib_growth = 0.30;
+  model.network_growth = 0.80;
+  model.storage_growth = 0.40;
+
+  TextTable table("Section 6.6 - Technology trend projection "
+                  "(year 0 = 2004, Sage-1000MB)");
+  table.set_header({"Year", "App IB (MB/s)", "Network (MB/s)",
+                    "Storage (MB/s)", "% of net", "% of disk", "Feasible"});
+  for (const auto& p : analysis::project(model, 8)) {
+    table.add_row({std::to_string(2004 + p.year),
+                   TextTable::num(p.app_ib / static_cast<double>(kMB)),
+                   TextTable::num(p.network / static_cast<double>(kMB), 0),
+                   TextTable::num(p.storage / static_cast<double>(kMB), 0),
+                   TextTable::num(p.frac_of_network * 100),
+                   TextTable::num(p.frac_of_storage * 100),
+                   p.feasible ? "yes" : "NO"});
+  }
+  finish(table, "sec66_trends.csv");
+
+  int bad_year = analysis::infeasibility_year(model, 15);
+  std::cout << (bad_year < 0
+                    ? "headroom widens every year (paper's conclusion "
+                      "holds)\n"
+                    : "infeasible starting year " +
+                          std::to_string(2004 + bad_year) + "\n");
+  return 0;
+}

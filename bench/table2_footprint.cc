@@ -1,0 +1,36 @@
+// Reproduces Table 2: "Memory Footprint Size (MB)" — maximum and
+// average data-memory footprint of every application.
+//
+// Measured values are reported in paper-equivalent MB (scaled runs
+// un-scaled by ICKPT_BENCH_SCALE).
+#include "bench/bench_util.h"
+
+#include "apps/catalog.h"
+
+using namespace ickpt;
+using namespace ickpt::bench;
+
+int main() {
+  const double scale = bench_scale();
+  TextTable table("Table 2 - Memory Footprint Size (MB), scale " +
+                  TextTable::num(scale, 4));
+  table.set_header({"Application", "Max (paper)", "Max (measured)",
+                    "Avg (paper)", "Avg (measured)"});
+
+  for (const auto& name : apps::catalog_names()) {
+    StudyConfig cfg;
+    cfg.app = name;
+    cfg.timeslice = 1.0;
+    cfg.footprint_scale = scale;
+    if (quick_mode()) cfg.run_vs = 60.0;
+    auto r = must_run(cfg);
+    auto t = apps::paper_targets(name).value();
+
+    table.add_row({name, TextTable::num(t.footprint_max_mb),
+                   TextTable::num(paper_mb(r.footprint.max_bytes, scale)),
+                   TextTable::num(t.footprint_avg_mb),
+                   TextTable::num(paper_mb(r.footprint.avg_bytes, scale))});
+  }
+  finish(table, "table2_footprint.csv");
+  return 0;
+}

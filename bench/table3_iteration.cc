@@ -1,0 +1,64 @@
+// Reproduces Table 3: "Characteristics of the Main Iteration" — the
+// iteration period (detected automatically from the IWS series via
+// autocorrelation, paper §6.2) and the fraction of the memory
+// footprint overwritten per iteration (measured by sampling with
+// timeslice == period, so each slice's IWS is the per-iteration
+// union).
+#include "bench/bench_util.h"
+
+#include <algorithm>
+
+#include "analysis/period.h"
+#include "apps/catalog.h"
+
+using namespace ickpt;
+using namespace ickpt::bench;
+
+namespace {
+
+/// A sampling resolution that puts ~10+ slices inside one period.
+double detection_timeslice(double period) {
+  if (period >= 10) return 1.0;
+  if (period >= 2) return 0.25;
+  return std::max(period / 10.0, 0.02);
+}
+
+}  // namespace
+
+int main() {
+  const double scale = bench_scale();
+  TextTable table("Table 3 - Characteristics of the Main Iteration");
+  table.set_header({"Application", "Period s (paper)", "Period s (detected)",
+                    "Overwritten % (paper)", "Overwritten % (measured)"});
+
+  for (const auto& name : apps::catalog_names()) {
+    auto t = apps::paper_targets(name).value();
+
+    // Pass 1: detect the period from the IWS series.
+    StudyConfig detect_cfg;
+    detect_cfg.app = name;
+    detect_cfg.timeslice = detection_timeslice(t.period_s);
+    detect_cfg.footprint_scale = scale;
+    detect_cfg.run_vs =
+        std::min(quick_mode() ? 6.0 : 10.0 * t.period_s, 700.0);
+    auto detect_run = must_run(detect_cfg);
+    auto est = analysis::detect_period(
+        detect_run.per_rank[0].iws_bytes_series(), detect_cfg.timeslice);
+    std::string detected =
+        est.found ? TextTable::num(est.period, 2) : "n/a";
+
+    // Pass 2: overwrite fraction at timeslice == period.
+    StudyConfig ow_cfg;
+    ow_cfg.app = name;
+    ow_cfg.timeslice = t.period_s;
+    ow_cfg.footprint_scale = scale;
+    ow_cfg.run_vs = std::min((quick_mode() ? 6.0 : 12.0) * t.period_s, 900.0);
+    auto ow_run = must_run(ow_cfg);
+
+    table.add_row({name, TextTable::num(t.period_s, 2), detected,
+                   TextTable::num(t.overwrite_frac * 100, 0),
+                   TextTable::num(ow_run.ib.avg_ratio * 100, 0)});
+  }
+  finish(table, "table3_iteration.csv");
+  return 0;
+}

@@ -1,0 +1,33 @@
+// Reproduces Table 4: "Bandwidth Requirements (MB/s)" — maximum and
+// average Incremental Bandwidth of every application at a 1 s
+// checkpoint timeslice.
+#include "bench/bench_util.h"
+
+#include "apps/catalog.h"
+
+using namespace ickpt;
+using namespace ickpt::bench;
+
+int main() {
+  const double scale = bench_scale();
+  TextTable table("Table 4 - Bandwidth Requirements (MB/s), timeslice 1 s");
+  table.set_header({"Application", "Max (paper)", "Max (measured)",
+                    "Avg (paper)", "Avg (measured)"});
+
+  for (const auto& name : apps::catalog_names()) {
+    StudyConfig cfg;
+    cfg.app = name;
+    cfg.timeslice = 1.0;
+    cfg.footprint_scale = scale;
+    if (quick_mode()) cfg.run_vs = 60.0;
+    auto r = must_run(cfg);
+    auto t = apps::paper_targets(name).value();
+
+    table.add_row({name, TextTable::num(t.max_ib1_mb_s),
+                   TextTable::num(paper_mb(r.ib.max_ib, scale)),
+                   TextTable::num(t.avg_ib1_mb_s),
+                   TextTable::num(paper_mb(r.ib.avg_ib, scale))});
+  }
+  finish(table, "table4_bandwidth.csv");
+  return 0;
+}

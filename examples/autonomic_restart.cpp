@@ -1,0 +1,135 @@
+// Autonomic restart with RecoverableRun: the self-healing execution
+// loop the paper's autonomic-computing vision calls for (§1), in ~40
+// lines of application code.
+//
+// The program runs a blocked matrix power iteration.  Invoked with
+// "--crash-at N" it aborts the computation after N steps (simulating
+// a node failure); run again against the same checkpoint directory it
+// resumes where the last checkpoint left off.  A driver mode
+// ("--demo", the default) performs both phases in one invocation and
+// verifies the recovered result.
+//
+//   $ ./autonomic_restart            # crash + recover + verify
+//   $ ./autonomic_restart --dir /tmp/ckpts --crash-at 7   # phase 1
+//   $ ./autonomic_restart --dir /tmp/ckpts                # phase 2
+#include <cmath>
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "core/recoverable.h"
+#include "storage/backend.h"
+
+using namespace ickpt;
+
+namespace {
+
+constexpr std::size_t kN = 512;         // matrix dimension
+constexpr int kTotalSteps = 12;
+
+/// One power-iteration step: v <- normalize(A v), with A implicit
+/// (tridiagonal stencil), plus an energy accumulator.
+void step_once(double* v, double* scratch, double* energy) {
+  for (std::size_t i = 0; i < kN * kN; ++i) {
+    double left = i >= 1 ? v[i - 1] : 0.0;
+    double right = i + 1 < kN * kN ? v[i + 1] : 0.0;
+    scratch[i] = 0.3 * left + 0.4 * v[i] + 0.3 * right + 1e-9;
+  }
+  double norm = 0;
+  for (std::size_t i = 0; i < kN * kN; ++i) norm += scratch[i] * scratch[i];
+  norm = std::sqrt(norm);
+  for (std::size_t i = 0; i < kN * kN; ++i) v[i] = scratch[i] / norm;
+  *energy += norm;
+}
+
+int run_phase(storage::StorageBackend& backend, int crash_at,
+              double* final_energy) {
+  RecoverableRun::Options opts;
+  opts.checkpoint_every = 2;
+  auto run = RecoverableRun::create(backend, opts);
+  if (!run.is_ok()) return -1;
+
+  auto vec = (*run)->add_block(kN * kN * sizeof(double), "eigvec");
+  auto scratch = (*run)->add_block(kN * kN * sizeof(double), "scratch");
+  auto acc = (*run)->add_block(sizeof(double), "energy");
+  if (!vec.is_ok() || !scratch.is_ok() || !acc.is_ok()) return -1;
+
+  auto first = (*run)->begin();
+  if (!first.is_ok()) {
+    std::fprintf(stderr, "begin: %s\n", first.status().to_string().c_str());
+    return -1;
+  }
+  auto* v = reinterpret_cast<double*>(vec->data());
+  auto* s = reinterpret_cast<double*>(scratch->data());
+  auto* energy = reinterpret_cast<double*>(acc->data());
+  if (*first == 0) {
+    for (std::size_t i = 0; i < kN * kN; ++i) {
+      v[i] = 1.0 / static_cast<double>(kN);
+    }
+    std::printf("fresh start\n");
+  } else {
+    std::printf("recovered: resuming at step %d (energy so far %.6f)\n",
+                *first, *energy);
+  }
+
+  for (int st = *first; st < kTotalSteps; ++st) {
+    if (st == crash_at) {
+      std::printf("simulated failure at step %d\n", st);
+      return kTotalSteps + 1;  // sentinel: crashed
+    }
+    step_once(v, s, energy);
+    if (!(*run)->did_step(st).is_ok()) return -1;
+  }
+  *final_energy = *energy;
+  return kTotalSteps;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string dir = "/tmp/ickpt_autonomic_demo";
+  int crash_at = -1;
+  bool demo = true;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--dir") == 0 && i + 1 < argc) {
+      dir = argv[++i];
+      demo = false;
+    } else if (std::strcmp(argv[i], "--crash-at") == 0 && i + 1 < argc) {
+      crash_at = std::atoi(argv[++i]);
+      demo = false;
+    }
+  }
+
+  if (demo) std::filesystem::remove_all(dir);
+  auto backend = storage::make_file_backend(dir);
+  if (!backend.is_ok()) return 1;
+
+  if (!demo) {
+    double energy = 0;
+    int rc = run_phase(**backend, crash_at, &energy);
+    if (rc == kTotalSteps) std::printf("done: energy %.6f\n", energy);
+    return rc == kTotalSteps || rc == kTotalSteps + 1 ? 0 : 1;
+  }
+
+  // Demo: reference run (no crash, fresh storage elsewhere)...
+  std::string ref_dir = dir + "_ref";
+  std::filesystem::remove_all(ref_dir);
+  auto ref_backend = storage::make_file_backend(ref_dir);
+  if (!ref_backend.is_ok()) return 1;
+  double ref_energy = 0;
+  if (run_phase(**ref_backend, -1, &ref_energy) != kTotalSteps) return 1;
+
+  // ...then crash at step 7 and recover.
+  double energy = 0;
+  if (run_phase(**backend, 7, &energy) != kTotalSteps + 1) return 1;
+  if (run_phase(**backend, -1, &energy) != kTotalSteps) return 1;
+
+  bool match = std::abs(energy - ref_energy) < 1e-12;
+  std::printf("recovered energy %.9f, reference %.9f -> %s\n", energy,
+              ref_energy, match ? "MATCH" : "MISMATCH");
+  std::filesystem::remove_all(dir);
+  std::filesystem::remove_all(ref_dir);
+  return match ? 0 : 1;
+}

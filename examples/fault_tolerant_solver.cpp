@@ -1,0 +1,141 @@
+// Fault-tolerant Jacobi solver: the full checkpoint/rollback-recovery
+// loop the paper argues is feasible.
+//
+// A 1D Jacobi iteration runs with incremental checkpoints (mprotect
+// dirty tracking -> page-granular deltas -> file storage) taken every
+// few sweeps.  Midway we simulate a crash by throwing the in-memory
+// state away, then recover from the checkpoint chain and continue.
+// The final answer must equal an uninterrupted run bit for bit.
+//
+//   $ ./fault_tolerant_solver [cells=2000000] [sweeps=60]
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <filesystem>
+#include <vector>
+
+#include "checkpoint/checkpointer.h"
+#include "checkpoint/restore.h"
+#include "common/units.h"
+#include "memtrack/mprotect_engine.h"
+#include "region/address_space.h"
+#include "storage/backend.h"
+
+using namespace ickpt;
+
+namespace {
+
+/// One Jacobi sweep over the block (fixed boundary values).
+void sweep(double* x, double* next, std::size_t n) {
+  next[0] = 1.0;
+  next[n - 1] = -1.0;
+  for (std::size_t i = 1; i + 1 < n; ++i) {
+    next[i] = 0.5 * (x[i - 1] + x[i + 1]);
+  }
+  std::memcpy(x, next, n * sizeof(double));
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::size_t cells =
+      argc > 1 ? std::strtoul(argv[1], nullptr, 10) : 2000000;
+  const int sweeps = argc > 2 ? std::atoi(argv[2]) : 60;
+  const int ckpt_every = 5;
+  const int crash_at = sweeps / 2;
+
+  const std::string dir = "/tmp/ickpt_fault_tolerant_demo";
+  std::filesystem::remove_all(dir);
+  auto storage = storage::make_file_backend(dir);
+  if (!storage.is_ok()) return 1;
+
+  // ---------------- reference: uninterrupted run -------------------
+  std::vector<double> reference(cells, 0.0);
+  {
+    std::vector<double> scratch(cells);
+    for (int s = 0; s < sweeps; ++s) {
+      sweep(reference.data(), scratch.data(), cells);
+    }
+  }
+
+  // ---------------- run 1: compute with checkpoints, then crash ----
+  int completed_at_crash = 0;
+  {
+    memtrack::MProtectEngine engine;
+    region::AddressSpace space(engine, "solver");
+    auto x_blk = space.map(cells * sizeof(double),
+                           region::AreaKind::kHeap, "x");
+    auto scratch_blk = space.map(cells * sizeof(double),
+                                 region::AreaKind::kHeap, "scratch");
+    auto step_blk = space.map(page_size(), region::AreaKind::kHeap, "step");
+    if (!x_blk.is_ok() || !scratch_blk.is_ok() || !step_blk.is_ok()) return 1;
+    auto* x = reinterpret_cast<double*>(x_blk->mem.data());
+    auto* scratch = reinterpret_cast<double*>(scratch_blk->mem.data());
+    auto* step_counter = reinterpret_cast<std::int64_t*>(
+        step_blk->mem.data());
+
+    checkpoint::Checkpointer ckpt(space, **storage, {});
+    if (!engine.arm().is_ok()) return 1;
+
+    for (int s = 0; s < sweeps; ++s) {
+      if (s == crash_at) {
+        std::printf("simulated crash after sweep %d "
+                    "(in-memory state lost)\n", s);
+        completed_at_crash = s;
+        break;
+      }
+      sweep(x, scratch, cells);
+      *step_counter = s + 1;
+      if ((s + 1) % ckpt_every == 0) {
+        auto snap = engine.collect(/*rearm=*/true);
+        if (!snap.is_ok()) return 1;
+        auto meta = ckpt.checkpoint_incremental(*snap,
+                                                static_cast<double>(s + 1));
+        if (!meta.is_ok()) {
+          std::fprintf(stderr, "checkpoint: %s\n",
+                       meta.status().to_string().c_str());
+          return 1;
+        }
+        std::printf("  ckpt seq %llu (%s): %s payload\n",
+                    static_cast<unsigned long long>(meta->sequence),
+                    meta->kind == checkpoint::Kind::kFull ? "full" : "incr",
+                    format_bytes(meta->payload_pages * page_size()).c_str());
+      }
+    }
+  }  // engine, space, solver state destroyed: the "crash"
+
+  // ---------------- run 2: recover and finish ----------------------
+  auto state = checkpoint::restore_chain(**storage, 0);
+  if (!state.is_ok()) {
+    std::fprintf(stderr, "restore: %s\n",
+                 state.status().to_string().c_str());
+    return 1;
+  }
+  memtrack::MProtectEngine engine;
+  region::AddressSpace space(engine, "recovered");
+  auto mapping = checkpoint::materialize(*state, space);
+  if (!mapping.is_ok()) return 1;
+
+  // Blocks were mapped in id order: x, scratch, step.
+  auto blocks = space.blocks();
+  auto* x = reinterpret_cast<double*>(
+      space.block_span(blocks[0].id)->data());
+  auto* scratch = reinterpret_cast<double*>(
+      space.block_span(blocks[1].id)->data());
+  auto* step_counter = reinterpret_cast<std::int64_t*>(
+      space.block_span(blocks[2].id)->data());
+
+  int resume_from = static_cast<int>(*step_counter);
+  std::printf("recovered at sweep %d (crash lost %d uncheckpointed "
+              "sweeps)\n", resume_from, completed_at_crash - resume_from);
+  for (int s = resume_from; s < sweeps; ++s) {
+    sweep(x, scratch, cells);
+  }
+
+  bool equal = std::memcmp(x, reference.data(),
+                           cells * sizeof(double)) == 0;
+  std::printf("result %s the uninterrupted run (%zu cells, %d sweeps)\n",
+              equal ? "MATCHES" : "DIFFERS FROM", cells, sweeps);
+  std::filesystem::remove_all(dir);
+  return equal ? 0 : 1;
+}

@@ -1,0 +1,82 @@
+// Condensed reproduction of the paper's study for one application:
+// run the calibrated proxy kernel under timeslice sampling and print
+// the characterization (footprint, period, overwrite fraction) and
+// the bandwidth requirement vs the 2004 technology ceilings.
+//
+//   $ ./feasibility_report [app=sage-100] [timeslice=1.0] [ranks=1]
+//
+// Apps: sage-1000 sage-500 sage-100 sage-50 sweep3d sp lu bt ft
+#include <cstdio>
+#include <cstdlib>
+
+#include "analysis/feasibility.h"
+#include "analysis/period.h"
+#include "apps/catalog.h"
+#include "common/units.h"
+#include "core/study.h"
+
+int main(int argc, char** argv) {
+  using namespace ickpt;
+
+  StudyConfig cfg;
+  cfg.app = argc > 1 ? argv[1] : "sage-100";
+  cfg.timeslice = argc > 2 ? std::atof(argv[2]) : 1.0;
+  cfg.nprocs = argc > 3 ? std::atoi(argv[3]) : 1;
+  cfg.footprint_scale = 1.0 / 16.0;
+
+  auto targets = apps::paper_targets(cfg.app);
+  if (!targets.is_ok()) {
+    std::fprintf(stderr, "unknown app '%s'\n", cfg.app.c_str());
+    std::fprintf(stderr, "apps:");
+    for (const auto& n : apps::catalog_names()) {
+      std::fprintf(stderr, " %s", n.c_str());
+    }
+    std::fprintf(stderr, "\n");
+    return 2;
+  }
+
+  std::printf("== %s (scale %.4f, timeslice %.1fs, %d rank%s) ==\n",
+              cfg.app.c_str(), cfg.footprint_scale, cfg.timeslice,
+              cfg.nprocs, cfg.nprocs == 1 ? "" : "s");
+  auto r = run_study(cfg);
+  if (!r.is_ok()) {
+    std::fprintf(stderr, "study failed: %s\n",
+                 r.status().to_string().c_str());
+    return 1;
+  }
+
+  const double scale = cfg.footprint_scale;
+  auto unscaled_mb = [scale](double bytes) {
+    return bytes / static_cast<double>(kMB) / scale;
+  };
+
+  std::printf("footprint  max %7.1f MB (paper %7.1f)   avg %7.1f MB "
+              "(paper %7.1f)\n",
+              unscaled_mb(r->footprint.max_bytes), targets->footprint_max_mb,
+              unscaled_mb(r->footprint.avg_bytes),
+              targets->footprint_avg_mb);
+  std::printf("IB         avg %7.1f MB/s (paper %6.1f)  max %7.1f MB/s "
+              "(paper %6.1f)\n",
+              unscaled_mb(r->ib.avg_ib), targets->avg_ib1_mb_s,
+              unscaled_mb(r->ib.max_ib), targets->max_ib1_mb_s);
+  std::printf("IWS/footprint avg: %.0f%%   iterations: %llu   period: %.2fs "
+              "(paper %.2fs)\n",
+              r->ib.avg_ratio * 100, static_cast<unsigned long long>(
+                  r->iterations),
+              r->period_s, targets->period_s);
+
+  auto est = analysis::detect_period(r->per_rank[0].iws_bytes_series(),
+                                     cfg.timeslice);
+  if (est.found) {
+    std::printf("period detected from IWS series: %.2fs (confidence %.2f)\n",
+                est.period, est.confidence);
+  }
+
+  analysis::IBStats paper_eq;
+  paper_eq.avg_ib = r->ib.avg_ib / scale;
+  paper_eq.max_ib = r->ib.max_ib / scale;
+  auto verdict = analysis::assess_feasibility(paper_eq);
+  std::printf("feasibility (paper-equivalent magnitudes): %s\n",
+              analysis::describe(verdict).c_str());
+  return 0;
+}

@@ -1,0 +1,83 @@
+// A genuine scientific mini-app — 2D heat diffusion (explicit Euler,
+// 5-point stencil) with a moving hot spot — monitored transparently.
+//
+// Demonstrates the paper's core observation on a real solver: the
+// solver's bulk-synchronous structure (sweep, then halo bookkeeping)
+// shows up directly in the IWS series, and the bandwidth needed to
+// checkpoint it incrementally is modest.
+//
+//   $ ./heat_diffusion [grid_n=1024] [steps=300]
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+
+#include "analysis/period.h"
+#include "common/arena.h"
+#include "common/units.h"
+#include "core/monitor.h"
+
+int main(int argc, char** argv) {
+  using namespace ickpt;
+
+  const std::size_t n = argc > 1 ? std::strtoul(argv[1], nullptr, 10) : 1024;
+  const int steps = argc > 2 ? std::atoi(argv[2]) : 300;
+
+  PageArena grid_a(n * n * sizeof(double));
+  PageArena grid_b(n * n * sizeof(double));
+  auto* a = reinterpret_cast<double*>(grid_a.data());
+  auto* b = reinterpret_cast<double*>(grid_b.data());
+  auto at = [n](double* g, std::size_t i, std::size_t j) -> double& {
+    return g[i * n + j];
+  };
+
+  auto monitor = Monitor::create({memtrack::EngineKind::kMProtect, 0.25});
+  if (!monitor.is_ok()) return 1;
+  (void)(*monitor)->attach(grid_a.span(), "grid_a");
+  (void)(*monitor)->attach(grid_b.span(), "grid_b");
+  if (!(*monitor)->start().is_ok()) return 1;
+
+  const double alpha = 0.2;
+  for (int s = 0; s < steps; ++s) {
+    // Moving heat source.
+    std::size_t ci = n / 2 +
+                     static_cast<std::size_t>(
+                         (std::sin(s * 0.05) * 0.25 + 0.25) *
+                         static_cast<double>(n));
+    at(a, ci % n, (ci * 7) % n) = 100.0;
+
+    double* src = (s % 2 == 0) ? a : b;
+    double* dst = (s % 2 == 0) ? b : a;
+    for (std::size_t i = 1; i + 1 < n; ++i) {
+      for (std::size_t j = 1; j + 1 < n; ++j) {
+        dst[i * n + j] =
+            src[i * n + j] +
+            alpha * (src[(i - 1) * n + j] + src[(i + 1) * n + j] +
+                     src[i * n + j - 1] + src[i * n + j + 1] -
+                     4.0 * src[i * n + j]);
+      }
+    }
+  }
+  (*monitor)->stop();
+
+  auto series = (*monitor)->series();
+  auto stats = (*monitor)->ib_stats(1);
+  std::printf("grid %zux%zu (%s per buffer), %d steps\n", n, n,
+              format_bytes(n * n * sizeof(double)).c_str(), steps);
+  std::printf("slices: %zu  avg IWS: %s  avg IB: %s  max IB: %s\n",
+              stats.samples,
+              format_bytes(static_cast<std::size_t>(stats.avg_iws)).c_str(),
+              format_bandwidth(stats.avg_ib).c_str(),
+              format_bandwidth(stats.max_ib).c_str());
+
+  // Double buffering: each step writes one whole grid -> per-slice
+  // IWS ~ half the footprint, exactly the pattern the paper exploits.
+  std::printf("avg IWS / footprint: %.0f%%\n", stats.avg_ratio * 100.0);
+  std::printf("%s\n", analysis::describe((*monitor)->feasibility(1)).c_str());
+
+  auto est = analysis::detect_period(series.iws_bytes_series(), 0.25);
+  if (est.found) {
+    std::printf("detected write-pattern period: %.2f s (confidence %.2f)\n",
+                est.period, est.confidence);
+  }
+  return 0;
+}

@@ -1,0 +1,74 @@
+#include "analysis/bursts.h"
+
+#include <algorithm>
+
+#include "analysis/distribution.h"
+
+namespace ickpt::analysis {
+
+BurstSegmentation segment_bursts(const trace::TimeSeries& series,
+                                 std::size_t skip_first) {
+  BurstSegmentation out;
+  const auto& samples = series.samples();
+  if (samples.size() <= skip_first) return out;
+
+  std::vector<double> iws;
+  iws.reserve(samples.size() - skip_first);
+  for (std::size_t i = skip_first; i < samples.size(); ++i) {
+    iws.push_back(static_cast<double>(samples[i].iws_bytes));
+  }
+  double lo = quantile(iws, 0.20);
+  double hi = quantile(iws, 0.80);
+  out.threshold = (lo + hi) / 2.0;
+
+  bool in_burst = false;
+  Burst current;
+  double burst_time = 0, gap_time = 0;
+  for (std::size_t i = skip_first; i < samples.size(); ++i) {
+    const auto& s = samples[i];
+    const bool active =
+        static_cast<double>(s.iws_bytes) > out.threshold;
+    if (active) {
+      burst_time += s.timeslice();
+      if (!in_burst) {
+        in_burst = true;
+        current = Burst{};
+        current.first_slice = i;
+        current.t_start = s.t_start;
+        current.peak_iws = 0;
+      }
+      current.last_slice = i;
+      current.t_end = s.t_end;
+      current.peak_iws = std::max(current.peak_iws,
+                                  static_cast<double>(s.iws_bytes));
+    } else {
+      gap_time += s.timeslice();
+      if (in_burst) {
+        out.bursts.push_back(current);
+        in_burst = false;
+      }
+    }
+  }
+  if (in_burst) out.bursts.push_back(current);
+
+  if (!out.bursts.empty()) {
+    double total_burst = 0;
+    for (const auto& b : out.bursts) total_burst += b.duration();
+    out.mean_burst_s = total_burst / static_cast<double>(out.bursts.size());
+  }
+  // Gaps between consecutive bursts only (leading/trailing partial
+  // gaps would bias the mean).
+  if (out.bursts.size() >= 2) {
+    double total_gap = 0;
+    for (std::size_t b = 1; b < out.bursts.size(); ++b) {
+      total_gap += out.bursts[b].t_start - out.bursts[b - 1].t_end;
+    }
+    out.mean_gap_s =
+        total_gap / static_cast<double>(out.bursts.size() - 1);
+  }
+  double total = burst_time + gap_time;
+  out.duty_cycle = total > 0 ? burst_time / total : 0;
+  return out;
+}
+
+}  // namespace ickpt::analysis

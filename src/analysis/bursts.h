@@ -1,0 +1,44 @@
+// Burst segmentation: classify the IWS time series into processing
+// bursts and communication gaps (paper §6.2: "we can easily identify a
+// regular pattern, with write bursts every 145s ... the communication
+// bursts are placed between the processing bursts").
+//
+// A slice belongs to a burst when its IWS exceeds a threshold placed
+// between the two modes of the series.  The segmentation yields the
+// burst/gap durations and duty cycle — the quantities a checkpoint
+// scheduler needs to pick placement (ablation X3).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "trace/time_series.h"
+
+namespace ickpt::analysis {
+
+struct Burst {
+  std::size_t first_slice = 0;
+  std::size_t last_slice = 0;   ///< inclusive
+  double t_start = 0;
+  double t_end = 0;
+  double peak_iws = 0;          ///< bytes
+
+  double duration() const noexcept { return t_end - t_start; }
+};
+
+struct BurstSegmentation {
+  std::vector<Burst> bursts;
+  double threshold = 0;         ///< bytes used to split burst/gap
+  double mean_burst_s = 0;
+  double mean_gap_s = 0;
+  double duty_cycle = 0;        ///< burst time / total time
+};
+
+/// Segment `series` (skipping `skip_first` warm-up slices).  The
+/// threshold defaults to the midpoint between the 20th and 80th IWS
+/// percentiles; series with no bimodal structure yield zero or one
+/// burst covering everything.
+BurstSegmentation segment_bursts(const trace::TimeSeries& series,
+                                 std::size_t skip_first = 0);
+
+}  // namespace ickpt::analysis

@@ -1,0 +1,61 @@
+#include "analysis/distribution.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace ickpt::analysis {
+
+double quantile(std::vector<double> values, double q) {
+  if (values.empty()) return 0;
+  q = std::clamp(q, 0.0, 1.0);
+  std::sort(values.begin(), values.end());
+  if (values.size() == 1) return values[0];
+  double pos = q * static_cast<double>(values.size() - 1);
+  auto lo = static_cast<std::size_t>(pos);
+  std::size_t hi = std::min(lo + 1, values.size() - 1);
+  double frac = pos - static_cast<double>(lo);
+  return values[lo] * (1 - frac) + values[hi] * frac;
+}
+
+Quantiles ib_quantiles(const trace::TimeSeries& series,
+                       std::size_t skip_first) {
+  std::vector<double> ib;
+  const auto& samples = series.samples();
+  for (std::size_t i = skip_first; i < samples.size(); ++i) {
+    ib.push_back(samples[i].ib_bytes_per_s());
+  }
+  Quantiles out;
+  out.samples = ib.size();
+  if (ib.empty()) return out;
+  out.p50 = quantile(ib, 0.50);
+  out.p90 = quantile(ib, 0.90);
+  out.p99 = quantile(ib, 0.99);
+  out.max = *std::max_element(ib.begin(), ib.end());
+  return out;
+}
+
+std::vector<HistogramBin> histogram(const std::vector<double>& values,
+                                    std::size_t bins) {
+  std::vector<HistogramBin> out;
+  if (values.empty() || bins == 0) return out;
+  auto [mn_it, mx_it] = std::minmax_element(values.begin(), values.end());
+  double mn = *mn_it, mx = *mx_it;
+  if (mn == mx) {
+    out.push_back(HistogramBin{mn, mx, values.size()});
+    return out;
+  }
+  double width = (mx - mn) / static_cast<double>(bins);
+  out.resize(bins);
+  for (std::size_t b = 0; b < bins; ++b) {
+    out[b].lo = mn + static_cast<double>(b) * width;
+    out[b].hi = out[b].lo + width;
+  }
+  for (double v : values) {
+    auto b = static_cast<std::size_t>((v - mn) / width);
+    if (b >= bins) b = bins - 1;  // v == max
+    ++out[b].count;
+  }
+  return out;
+}
+
+}  // namespace ickpt::analysis

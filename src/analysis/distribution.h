@@ -1,0 +1,43 @@
+// Distribution analysis of per-slice metrics.
+//
+// The paper reports max and average; for provisioning a checkpoint
+// device the tail matters too (a p99 IWS burst stalls the pipeline
+// that max alone under- or over-states).  Quantiles and histograms
+// over the IB series extend Tables 2/4 with distributional columns.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "trace/time_series.h"
+
+namespace ickpt::analysis {
+
+/// Quantile with linear interpolation; q in [0, 1].  Returns 0 for an
+/// empty sample set.  The input is copied and sorted internally.
+double quantile(std::vector<double> values, double q);
+
+struct Quantiles {
+  std::size_t samples = 0;
+  double p50 = 0;
+  double p90 = 0;
+  double p99 = 0;
+  double max = 0;
+};
+
+/// Quantiles of the per-slice IB (bytes/s), skipping warm-up slices.
+Quantiles ib_quantiles(const trace::TimeSeries& series,
+                       std::size_t skip_first = 0);
+
+struct HistogramBin {
+  double lo = 0;
+  double hi = 0;
+  std::size_t count = 0;
+};
+
+/// Fixed-width histogram over [min, max] of the values (empty input ->
+/// empty result; zero-width range -> single bin holding everything).
+std::vector<HistogramBin> histogram(const std::vector<double>& values,
+                                    std::size_t bins);
+
+}  // namespace ickpt::analysis

@@ -1,0 +1,36 @@
+#include "analysis/feasibility.h"
+
+#include <cstdio>
+
+namespace ickpt::analysis {
+
+FeasibilityVerdict assess_feasibility(const IBStats& stats,
+                                      const TechnologyCeilings& tech) {
+  FeasibilityVerdict v;
+  v.required_avg = stats.avg_ib;
+  v.required_max = stats.max_ib;
+  if (tech.network_bytes_per_s > 0) {
+    v.frac_of_network_avg = stats.avg_ib / tech.network_bytes_per_s;
+    v.frac_of_network_max = stats.max_ib / tech.network_bytes_per_s;
+  }
+  if (tech.storage_bytes_per_s > 0) {
+    v.frac_of_storage_avg = stats.avg_ib / tech.storage_bytes_per_s;
+    v.frac_of_storage_max = stats.max_ib / tech.storage_bytes_per_s;
+  }
+  v.network_feasible = stats.max_ib <= tech.network_bytes_per_s;
+  v.storage_feasible = stats.max_ib <= tech.storage_bytes_per_s;
+  return v;
+}
+
+std::string describe(const FeasibilityVerdict& v) {
+  char buf[256];
+  std::snprintf(buf, sizeof buf,
+                "avg %s (%.0f%% net, %.0f%% disk), max %s -> %s",
+                format_bandwidth(v.required_avg).c_str(),
+                v.frac_of_network_avg * 100.0, v.frac_of_storage_avg * 100.0,
+                format_bandwidth(v.required_max).c_str(),
+                v.feasible() ? "FEASIBLE" : "EXCEEDS CEILING");
+  return buf;
+}
+
+}  // namespace ickpt::analysis

@@ -1,0 +1,46 @@
+// Feasibility analysis: compare measured incremental bandwidth against
+// the technology ceilings the paper uses (Section 3):
+//
+//   Quadrics QsNet II (Elan4) network: 900 MB/s peak
+//   SCSI secondary storage:            320 MB/s peak
+//
+// "By comparing the required bandwidth with the bandwidth available,
+//  we will determine the feasibility of implementing a checkpoint
+//  mechanism."
+#pragma once
+
+#include <string>
+
+#include "analysis/metrics.h"
+#include "common/units.h"
+
+namespace ickpt::analysis {
+
+/// 2004-era technology constants from the paper.
+struct TechnologyCeilings {
+  double network_bytes_per_s = 900.0 * static_cast<double>(kMB);
+  double storage_bytes_per_s = 320.0 * static_cast<double>(kMB);
+};
+
+struct FeasibilityVerdict {
+  double required_avg = 0;   ///< bytes/s
+  double required_max = 0;   ///< bytes/s
+  double frac_of_network_avg = 0;  ///< avg IB / network ceiling
+  double frac_of_storage_avg = 0;  ///< avg IB / storage ceiling
+  double frac_of_network_max = 0;
+  double frac_of_storage_max = 0;
+  bool network_feasible = false;   ///< max IB within network ceiling
+  bool storage_feasible = false;   ///< max IB within storage ceiling
+
+  bool feasible() const noexcept {
+    return network_feasible && storage_feasible;
+  }
+};
+
+FeasibilityVerdict assess_feasibility(const IBStats& stats,
+                                      const TechnologyCeilings& tech = {});
+
+/// One-line human-readable verdict for reports.
+std::string describe(const FeasibilityVerdict& verdict);
+
+}  // namespace ickpt::analysis

@@ -1,0 +1,47 @@
+#include "analysis/interval_model.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace ickpt::analysis {
+
+double young_interval(double checkpoint_cost_s, double mtbf_s) {
+  if (checkpoint_cost_s <= 0 || mtbf_s <= 0) return 0;
+  return std::sqrt(2.0 * checkpoint_cost_s * mtbf_s);
+}
+
+double daly_interval(double checkpoint_cost_s, double mtbf_s) {
+  const double c = checkpoint_cost_s;
+  const double m = mtbf_s;
+  if (c <= 0 || m <= 0) return 0;
+  if (c >= 2.0 * m) return m;
+  const double ratio = c / (2.0 * m);
+  const double base = std::sqrt(2.0 * c * m);
+  return base * (1.0 + std::sqrt(ratio) / 3.0 + ratio / 9.0) - c;
+}
+
+double expected_waste(double interval_s, double checkpoint_cost_s,
+                      double mtbf_s, double restart_cost_s) {
+  if (interval_s <= 0 || mtbf_s <= 0) return 1.0;
+  double waste = checkpoint_cost_s / interval_s +
+                 (interval_s / 2.0 + restart_cost_s) / mtbf_s;
+  return std::clamp(waste, 0.0, 1.0);
+}
+
+IntervalPlan plan_interval(double checkpoint_bytes, double footprint_bytes,
+                           double device_bytes_per_s, double mtbf_s) {
+  IntervalPlan plan;
+  if (device_bytes_per_s <= 0 || mtbf_s <= 0) {
+    plan.waste = 1.0;
+    return plan;
+  }
+  plan.checkpoint_cost_s = checkpoint_bytes / device_bytes_per_s;
+  const double restart = footprint_bytes / device_bytes_per_s;
+  plan.interval_s = daly_interval(plan.checkpoint_cost_s, mtbf_s);
+  plan.waste = expected_waste(plan.interval_s, plan.checkpoint_cost_s,
+                              mtbf_s, restart);
+  plan.efficiency = std::clamp(1.0 - plan.waste, 0.0, 1.0);
+  return plan;
+}
+
+}  // namespace ickpt::analysis

@@ -1,0 +1,45 @@
+// Optimal checkpoint-interval modelling (Young / Daly).
+//
+// The paper motivates frequent checkpointing with BlueGene/L-class
+// failure rates ("failures every few hours", §1) and measures the cost
+// side: the IWS determines how many bytes each incremental checkpoint
+// moves, and the device bandwidth turns that into seconds.  This
+// module closes the loop: given the measured checkpoint cost and a
+// machine MTBF, it yields the overhead-minimizing checkpoint interval
+// and the expected efficiency — the quantity a system architect
+// actually provisions against.
+#pragma once
+
+namespace ickpt::analysis {
+
+/// Young's first-order optimum: interval = sqrt(2 * cost * mtbf).
+/// Valid when cost << mtbf.
+double young_interval(double checkpoint_cost_s, double mtbf_s);
+
+/// Daly's higher-order refinement (J. T. Daly, 2006):
+///   interval = sqrt(2 c M) * [1 + 1/3 sqrt(c/(2M)) + (1/9)(c/(2M))]
+///              - c                      for c < 2M,
+///   interval = M                        otherwise.
+double daly_interval(double checkpoint_cost_s, double mtbf_s);
+
+/// Expected fraction of wall time lost to checkpointing + rework +
+/// restart for a given interval (first-order model):
+///   waste = c/T + (T/2 + r) / M
+/// where c = checkpoint cost, T = interval, r = restart cost, M = MTBF.
+double expected_waste(double interval_s, double checkpoint_cost_s,
+                      double mtbf_s, double restart_cost_s = 0.0);
+
+struct IntervalPlan {
+  double checkpoint_cost_s = 0;
+  double interval_s = 0;   ///< Daly-optimal
+  double waste = 0;        ///< expected lost fraction at that interval
+  double efficiency = 0;   ///< 1 - waste, clamped to [0, 1]
+};
+
+/// Plan for an application: incremental checkpoint cost = bytes_per
+/// checkpoint / device bandwidth; restart cost = footprint / bandwidth
+/// (a full restore reads everything).
+IntervalPlan plan_interval(double checkpoint_bytes, double footprint_bytes,
+                           double device_bytes_per_s, double mtbf_s);
+
+}  // namespace ickpt::analysis

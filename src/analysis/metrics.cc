@@ -1,0 +1,50 @@
+#include "analysis/metrics.h"
+
+#include "common/stats.h"
+
+namespace ickpt::analysis {
+
+IBStats compute_ib_stats(const trace::TimeSeries& series,
+                         std::size_t skip_first) {
+  SummaryStats ib(skip_first), iws(skip_first), ratio(skip_first);
+  for (const auto& s : series.samples()) {
+    ib.add(s.ib_bytes_per_s());
+    iws.add(static_cast<double>(s.iws_bytes));
+    ratio.add(s.iws_footprint_ratio());
+  }
+  IBStats out;
+  out.samples = ib.count();
+  out.avg_ib = ib.mean();
+  out.max_ib = ib.max();
+  out.avg_iws = iws.mean();
+  out.max_iws = iws.max();
+  out.avg_ratio = ratio.mean();
+  return out;
+}
+
+FootprintStats compute_footprint_stats(const trace::TimeSeries& series,
+                                       std::size_t skip_first) {
+  SummaryStats fp(skip_first);
+  for (const auto& s : series.samples()) {
+    fp.add(static_cast<double>(s.footprint_bytes));
+  }
+  FootprintStats out;
+  out.max_bytes = fp.max();
+  out.avg_bytes = fp.mean();
+  return out;
+}
+
+TrafficStats compute_traffic_stats(const trace::TimeSeries& series,
+                                   std::size_t skip_first) {
+  SummaryStats recv(skip_first);
+  for (const auto& s : series.samples()) {
+    recv.add(static_cast<double>(s.recv_bytes));
+  }
+  TrafficStats out;
+  out.avg_recv = recv.mean();
+  out.max_recv = recv.max();
+  out.total_recv = recv.mean() * static_cast<double>(recv.count());
+  return out;
+}
+
+}  // namespace ickpt::analysis

@@ -1,0 +1,47 @@
+// Metrics over timeslice series: the paper's two performance metrics
+// (Section 6.1) and the footprint characterization (Table 2).
+//
+//   Incremental Working Set (IWS): pages written in a timeslice.
+//   Incremental Bandwidth (IB):    IWS size / timeslice length.
+#pragma once
+
+#include <cstddef>
+
+#include "trace/time_series.h"
+
+namespace ickpt::analysis {
+
+/// Max/avg IB and IWS over a series, optionally skipping warm-up
+/// slices (the paper excludes the initialization burst, Section 6.3).
+struct IBStats {
+  std::size_t samples = 0;
+  double avg_ib = 0;      ///< bytes/s
+  double max_ib = 0;      ///< bytes/s
+  double avg_iws = 0;     ///< bytes
+  double max_iws = 0;     ///< bytes
+  double avg_ratio = 0;   ///< mean IWS / footprint, in [0,1]
+};
+
+IBStats compute_ib_stats(const trace::TimeSeries& series,
+                         std::size_t skip_first = 0);
+
+/// Footprint characterization (Table 2).
+struct FootprintStats {
+  double max_bytes = 0;
+  double avg_bytes = 0;
+};
+
+FootprintStats compute_footprint_stats(const trace::TimeSeries& series,
+                                       std::size_t skip_first = 0);
+
+/// Aggregate communication volume.
+struct TrafficStats {
+  double total_recv = 0;   ///< bytes
+  double avg_recv = 0;     ///< bytes per slice
+  double max_recv = 0;     ///< bytes in the busiest slice
+};
+
+TrafficStats compute_traffic_stats(const trace::TimeSeries& series,
+                                   std::size_t skip_first = 0);
+
+}  // namespace ickpt::analysis

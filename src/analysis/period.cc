@@ -1,0 +1,73 @@
+#include "analysis/period.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace ickpt::analysis {
+
+std::vector<double> autocorrelation(const std::vector<double>& series,
+                                    std::size_t max_lag) {
+  const std::size_t n = series.size();
+  std::vector<double> r(max_lag + 1, 0.0);
+  if (n < 2) return r;
+
+  double mean = 0;
+  for (double x : series) mean += x;
+  mean /= static_cast<double>(n);
+
+  double var = 0;
+  for (double x : series) var += (x - mean) * (x - mean);
+  if (var <= 0) return r;  // constant series
+
+  for (std::size_t k = 0; k <= max_lag && k < n; ++k) {
+    double acc = 0;
+    for (std::size_t i = 0; i + k < n; ++i) {
+      acc += (series[i] - mean) * (series[i + k] - mean);
+    }
+    r[k] = acc / var;
+  }
+  return r;
+}
+
+PeriodEstimate detect_period(const std::vector<double>& series, double dt,
+                             double min_confidence) {
+  PeriodEstimate est;
+  const std::size_t n = series.size();
+  if (n < 8 || dt <= 0) return est;
+
+  // Look for peaks up to half the series length.
+  const std::size_t max_lag = n / 2;
+  std::vector<double> r = autocorrelation(series, max_lag);
+
+  // First local maximum above the confidence floor, scanning outward
+  // from lag 2 (lag 1 is usually just smoothness).
+  std::size_t best_lag = 0;
+  double best_val = min_confidence;
+  for (std::size_t k = 2; k + 1 <= max_lag; ++k) {
+    if (r[k] > r[k - 1] && r[k] >= r[k + 1] && r[k] > best_val) {
+      best_lag = k;
+      best_val = r[k];
+      break;  // first qualifying peak = fundamental period
+    }
+  }
+  if (best_lag == 0) return est;
+
+  // Refine: if a multiple of the peak has notably higher correlation,
+  // the first peak was a sub-harmonic artifact; keep the fundamental
+  // only if its strength is comparable.
+  for (std::size_t mult = 2; mult * best_lag <= max_lag; ++mult) {
+    std::size_t k = mult * best_lag;
+    if (r[k] > best_val * 1.2) {
+      best_lag = k;
+      best_val = r[k];
+    }
+  }
+
+  est.found = true;
+  est.lag = best_lag;
+  est.period = static_cast<double>(best_lag) * dt;
+  est.confidence = std::min(1.0, best_val);
+  return est;
+}
+
+}  // namespace ickpt::analysis

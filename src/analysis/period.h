@@ -1,0 +1,36 @@
+// Iteration-period detection from the IWS time series.
+//
+// The paper observes that "the gap between processing bursts usually
+// identifies the duration of the main iteration of these codes"
+// (Section 6.2) and argues that this regular, bulk-synchronous
+// structure can be discovered automatically at run time.  This module
+// is that discovery: autocorrelation of the IWS series yields the main
+// iteration period (Table 3), and re-sampling at that period yields
+// the fraction of memory overwritten per iteration.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace ickpt::analysis {
+
+struct PeriodEstimate {
+  bool found = false;
+  double period = 0.0;       ///< seconds
+  double confidence = 0.0;   ///< autocorrelation peak value, in [0,1]
+  std::size_t lag = 0;       ///< peak lag in samples
+};
+
+/// Detect the dominant period of `series` sampled every `dt` seconds.
+/// `min_confidence` is the minimum normalized autocorrelation at the
+/// peak.  Returns found=false for flat or aperiodic series, or when
+/// the period is below the sampling resolution (2*dt).
+PeriodEstimate detect_period(const std::vector<double>& series, double dt,
+                             double min_confidence = 0.25);
+
+/// Normalized (biased) autocorrelation r[k] for k in [0, max_lag].
+/// r[0] == 1 unless the series is constant (then all zeros).
+std::vector<double> autocorrelation(const std::vector<double>& series,
+                                    std::size_t max_lag);
+
+}  // namespace ickpt::analysis

@@ -1,0 +1,31 @@
+#include "analysis/trends.h"
+
+#include <cmath>
+
+namespace ickpt::analysis {
+
+std::vector<TrendPoint> project(const TrendModel& model, int years) {
+  std::vector<TrendPoint> out;
+  out.reserve(static_cast<std::size_t>(years));
+  for (int y = 0; y < years; ++y) {
+    TrendPoint p;
+    p.year = y;
+    p.app_ib = model.app_ib0 * std::pow(1.0 + model.app_ib_growth, y);
+    p.network = model.network0 * std::pow(1.0 + model.network_growth, y);
+    p.storage = model.storage0 * std::pow(1.0 + model.storage_growth, y);
+    p.frac_of_network = p.network > 0 ? p.app_ib / p.network : 0;
+    p.frac_of_storage = p.storage > 0 ? p.app_ib / p.storage : 0;
+    p.feasible = p.app_ib <= p.network && p.app_ib <= p.storage;
+    out.push_back(p);
+  }
+  return out;
+}
+
+int infeasibility_year(const TrendModel& model, int horizon) {
+  for (const TrendPoint& p : project(model, horizon)) {
+    if (!p.feasible) return p.year;
+  }
+  return -1;
+}
+
+}  // namespace ickpt::analysis

@@ -1,0 +1,45 @@
+// Technology-trends projection (paper §6.6).
+//
+// The paper extrapolates: processor performance grows ~60 %/year while
+// memory grows ~7 %/year, so scientific application throughput (and
+// with it the rate at which memory is dirtied) roughly doubles every
+// 2-3 years — while network and storage bandwidth grow faster still,
+// making incremental checkpointing *more* feasible over time.  This
+// module makes that argument quantitative and testable.
+#pragma once
+
+#include <vector>
+
+namespace ickpt::analysis {
+
+struct TrendModel {
+  /// Annual growth rates (fraction per year).
+  double app_ib_growth = 0.30;       ///< app doubling every ~2.6 years
+  double network_growth = 0.80;      ///< e.g. QsNet 900 MB/s -> 10 GB/s IB by 2005
+  double storage_growth = 0.40;
+
+  /// Year-0 values in bytes/s.
+  double app_ib0 = 0;
+  double network0 = 0;
+  double storage0 = 0;
+};
+
+struct TrendPoint {
+  int year = 0;
+  double app_ib = 0;
+  double network = 0;
+  double storage = 0;
+  double frac_of_network = 0;
+  double frac_of_storage = 0;
+  bool feasible = false;
+};
+
+/// Project `years` points (year 0 .. years-1) of the model.
+std::vector<TrendPoint> project(const TrendModel& model, int years);
+
+/// First projected year in which the app's IB exceeds the slower
+/// device (-1 if it never does within `horizon` years).  With the
+/// paper's growth assumptions this returns -1: the headroom widens.
+int infeasibility_year(const TrendModel& model, int horizon);
+
+}  // namespace ickpt::analysis

@@ -1,0 +1,73 @@
+#include "analysis/window.h"
+
+#include <algorithm>
+
+namespace ickpt::analysis {
+
+Result<std::vector<std::size_t>> window_iws(const trace::WriteTrace& trace,
+                                            std::size_t k) {
+  if (k == 0) return invalid_argument("window_iws: k must be >= 1");
+  const std::uint64_t slices = trace.slice_count();
+  const std::size_t windows = static_cast<std::size_t>(slices / k);
+  std::vector<std::size_t> iws(windows, 0);
+  if (windows == 0) return iws;
+
+  // One pass per window over a page bitmap (events are slice-ordered,
+  // but window membership is computed from the event's slice, so the
+  // pass is a single sweep with per-window bitmap resets).
+  std::vector<std::uint8_t> seen(trace.region_pages(), 0);
+  std::size_t current_window = 0;
+  std::size_t current_count = 0;
+
+  auto flush_to = [&](std::size_t window) {
+    while (current_window < window && current_window < windows) {
+      iws[current_window] = current_count;
+      current_count = 0;
+      std::fill(seen.begin(), seen.end(), 0);
+      ++current_window;
+    }
+  };
+
+  for (const auto& e : trace.events()) {
+    std::size_t window = static_cast<std::size_t>(e.slice / k);
+    if (window >= windows) break;  // trailing partial window
+    flush_to(window);
+    for (std::uint32_t p = 0; p < e.page_count; ++p) {
+      std::size_t page = std::size_t{e.first_page} + p;
+      if (page < seen.size() && !seen[page]) {
+        seen[page] = 1;
+        ++current_count;
+      }
+    }
+  }
+  flush_to(windows);
+  return iws;
+}
+
+Result<std::vector<WindowPoint>> ib_curve(
+    const trace::WriteTrace& trace,
+    const std::vector<std::size_t>& multipliers) {
+  std::vector<WindowPoint> out;
+  out.reserve(multipliers.size());
+  for (std::size_t k : multipliers) {
+    auto iws = window_iws(trace, k);
+    if (!iws.is_ok()) return iws.status();
+    WindowPoint p;
+    p.timeslice = static_cast<double>(k) * trace.timeslice();
+    double sum = 0, mx = 0;
+    for (std::size_t v : *iws) {
+      sum += static_cast<double>(v);
+      mx = std::max(mx, static_cast<double>(v));
+    }
+    if (!iws->empty()) {
+      p.avg_iws_pages = sum / static_cast<double>(iws->size());
+      p.max_iws_pages = mx;
+      p.avg_ib_pages_per_s = p.avg_iws_pages / p.timeslice;
+      p.max_ib_pages_per_s = p.max_iws_pages / p.timeslice;
+    }
+    out.push_back(p);
+  }
+  return out;
+}
+
+}  // namespace ickpt::analysis

@@ -1,0 +1,41 @@
+// Window re-aggregation of write traces.
+//
+// A WriteTrace captured at a base timeslice carries the *sets* of
+// pages written per slice.  Unioning k consecutive slices yields
+// exactly the IWS of a k-times-longer timeslice — so one captured run
+// reproduces the whole IB-vs-timeslice curve (Figure 2) without
+// re-running the application per sweep point.  The benches use the
+// direct sweep; this module provides the single-trace shortcut and
+// the cross-validation between the two.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "common/status.h"
+#include "trace/write_trace.h"
+
+namespace ickpt::analysis {
+
+/// IWS (pages) per window of `k` consecutive base slices: element i is
+/// the number of distinct pages written during slices [i*k, (i+1)*k).
+/// Trailing partial windows are dropped (the paper reports whole
+/// slices only).
+Result<std::vector<std::size_t>> window_iws(const trace::WriteTrace& trace,
+                                            std::size_t k);
+
+struct WindowPoint {
+  double timeslice = 0;   ///< seconds (k * base timeslice)
+  double avg_iws_pages = 0;
+  double max_iws_pages = 0;
+  double avg_ib_pages_per_s = 0;
+  double max_ib_pages_per_s = 0;
+};
+
+/// The Figure-2 curve from one trace: one point per multiplier in
+/// `multipliers` (e.g. {1, 2, 5, 10, 20} with a 1 s base timeslice).
+Result<std::vector<WindowPoint>> ib_curve(
+    const trace::WriteTrace& trace,
+    const std::vector<std::size_t>& multipliers);
+
+}  // namespace ickpt::analysis

@@ -1,0 +1,294 @@
+// Calibration of the proxy kernels against the paper's measurements.
+//
+// ---------------------------------------------------------------------
+// Sage (dynamic allocation, long iterations)
+// ---------------------------------------------------------------------
+// Observables (Tables 2-4): footprint max M and average; period T;
+// overwrite fraction f; avg/max IB at a 1 s timeslice; and (Figure 3 /
+// text of 6.3) avg IB at a 20 s timeslice, approximately
+// avg1 * (12.1 / 78.8) for every footprint.
+//
+// The Sage iteration is modelled as
+//     spike:  a sweep over [0, S) at burst start (flux-array reset)
+//     burst:  hot region [0, H) rewritten once per virtual second
+//             while a cold cursor advances through [H, A) at C MB/s
+//     comm:   ghost exchange + allreduce for the last 20 % of T
+// where A = f*M is the active set.  Writing H once per second and C
+// fresh MB/s makes the IWS of a timeslice tau approximately
+//     IWS(tau) = S_slice + H + C*tau            (inside a burst)
+// so over a full period
+//     avg IB(tau)  = [S + (T_b/tau)*H + T_b*C] * (1/T)
+//     max IB(1s)  ~= S + C
+// Solving the three constraints (avg1, avg20, max1) for (S, H, C):
+//     S = max1 (clamped to A)
+//     H = (avg1 - avg20) * T / (T_b * (1 - 1/20))
+//     C = (avg1 * T - S) / T_b - H, floored so the cold cursor covers
+//         A - H every iteration (keeps the per-iteration union at A).
+//
+// Worked example, Sage-1000MB (M=954.6, T=145, f=0.53, avg1=78.8,
+// max1=274.9, avg20=12.1):  T_b = 0.75*145 - 1 ~ 107.75,
+//     H = (78.8-12.1)*145/(107.75*0.95) ~ 94.5
+//     C = (78.8*145 - 274.9)/107.75 - 94.5 ~ 9.0
+// The calibration tests (tests/apps_calibration_test.cc) verify the
+// measured IWS/IB against the paper values within tolerance.
+//
+// ---------------------------------------------------------------------
+// NAS SP / LU / BT (static, short iterations)
+// ---------------------------------------------------------------------
+// Period << 1 s timeslices: each iteration rewrites its active set
+// A = f*M once (one solver sweep), so IWS(tau) ~ A for every tau >= T
+// and IB(tau) ~ A/tau, matching Table 4 (avg ~ max ~ A at 1 s).
+//
+// ---------------------------------------------------------------------
+// NAS FT (multi-touch phases)
+// ---------------------------------------------------------------------
+// Table 4 reports avg IB (92.1 MB/s) *above* f*M/1s = 67.3 MB/s: the
+// evolve+FFT phases re-touch the spectral array X within an iteration,
+// and timeslice boundaries falling between touches count X twice.
+// Modelled as touches X, Y, X, X with |X| = 40, |Y| = 27.3 (union
+// = 67.3 = 57 % of 118 MB, matching Table 3, while the per-slice
+// dirtying rate matches Table 4).
+//
+// ---------------------------------------------------------------------
+// Sweep3D (wavefront)
+// ---------------------------------------------------------------------
+// Eight octant sweeps per iteration re-traverse the angular-flux
+// arrays (30 MB) and one pass updates the cell arrays (25 MB):
+// union = 55 MB = 52 % of 105.5 (Table 3), per-slice dirty rate
+// ~ 8*30/5.6 + 25/7 ~ 46 MB/s (Table 4: 49.5).
+#include "apps/catalog.h"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+
+namespace ickpt::apps {
+
+namespace {
+
+Phase sweep_phase(double off, double len, double dur, int parity = -1) {
+  Phase p;
+  p.kind = Phase::Kind::kSweep;
+  p.duration = dur;
+  p.segment = {off, len};
+  p.passes = 1;
+  p.parity = parity;
+  return p;
+}
+
+Phase comm_phase(double dur, double mb, int messages) {
+  Phase p;
+  p.kind = Phase::Kind::kComm;
+  p.duration = dur;
+  p.comm_mb = mb;
+  p.comm_messages = messages;
+  return p;
+}
+
+/// Build a Sage spec from paper observables (see derivation above).
+KernelSpec make_sage(const std::string& label, double max_mb, double period,
+                     double overwrite, double avg1, double max1) {
+  const double avg20 = avg1 * (12.1 / 78.8);  // Figure 3 decay ratio
+  // Sage's footprint oscillates (AMR): Table 2's average is ~0.816 of
+  // the maximum.  The overwrite fraction of Table 3 is relative to the
+  // *typical* (average) footprint, so the active set is f * 0.816 * M.
+  const double fill_mean = 0.816;
+  const double fill_amp = 0.184;
+  const double active = overwrite * fill_mean * max_mb;
+
+  const double t_spike = 0.4;  // short enough to land in one 1 s slice
+  const double t_comm = 0.20 * period;
+  const double t_burst = period - t_spike - t_comm;
+
+  double hot = (avg1 - avg20) * period / (t_burst * (1.0 - 1.0 / 20.0));
+  hot = std::clamp(hot, 1.0, 0.9 * active);
+  // Joint solve for spike and cold rate:
+  //   max1 = S + w * (H + C)                    (the spike's slice)
+  //   avg1 * T = S + t_burst * (H + C)
+  // w is the *expected* burst time sharing the spike's slice: the
+  // spike lands at a uniformly random offset in its slice, so on
+  // average (1 - t_spike)/2 ~ 0.3 s of burst writes join it.
+  const double w = 0.3;
+  double cold = (avg1 * period - max1 + hot * (w - t_burst)) / (t_burst - w);
+  double spike = max1 - w * (hot + cold);
+  // Floors: the cursor must cover the rest of the active set every
+  // iteration so the per-iteration union equals A (Table 3).
+  cold = std::max({cold, (active - hot) / t_burst, 0.05});
+  spike = std::clamp(spike, 1.0, active);
+
+  KernelSpec spec;
+  spec.name = label;
+  spec.footprint_mb = max_mb;
+  spec.period_s = period;
+  spec.init_coverage = 1.0;
+  spec.init_duration_s = 3.0;
+  spec.dynamic = true;
+  spec.block_count = 20;  // allocation units of M/20
+  // Table 2: avg/max footprint ~ 0.816 for Sage-1000; the AMR wave
+  // oscillates the footprint between mean-amp and mean+amp = max by
+  // adding/dropping refinement units beyond the permanent prefix.
+  spec.fill_mean = fill_mean;
+  spec.fill_amp = fill_amp;
+  spec.amr_period_iters = 6.0;
+  spec.comm_growth_per_log2p = 0.05;
+
+  Phase burst;
+  burst.kind = Phase::Kind::kHotCold;
+  burst.duration = t_burst;
+  burst.hot_mb = hot;
+  burst.cold_rate_mb_s = cold;
+  burst.cold_range = {hot, active - hot};
+
+  spec.phases = {sweep_phase(0.0, spike, t_spike), burst,
+                 comm_phase(t_comm, 0.75 * t_comm,
+                            std::max(4, static_cast<int>(t_comm)))};
+  return spec;
+}
+
+/// Build a NAS solver spec (SP, LU, BT): per iteration one sweep over
+/// the shared active arrays plus a double-buffered forcing array that
+/// alternates between two halves, which lifts the per-slice IWS above
+/// the per-iteration union exactly as Table 4 vs Table 3 requires.
+/// shared + alt = f*M (Table 3); shared + 2*alt = max IB (Table 4).
+KernelSpec make_nas_sweep(const std::string& label, double mb, double period,
+                          double overwrite, double max_ib1, double comm_mb) {
+  const double active = overwrite * mb;
+  const double alt = std::max(0.0, max_ib1 - active);
+  const double shared = active - alt;
+
+  KernelSpec spec;
+  spec.name = label;
+  spec.footprint_mb = mb;
+  spec.period_s = period;
+  spec.init_coverage = 1.0;
+  spec.init_duration_s = 1.0;
+
+  const double t_shared = 0.70 * period;
+  const double t_alt = 0.15 * period;
+  spec.phases = {sweep_phase(0.0, shared, t_shared),
+                 sweep_phase(shared, alt, t_alt, /*parity=*/0),
+                 sweep_phase(shared + alt, alt, t_alt, /*parity=*/1),
+                 comm_phase(0.15 * period, comm_mb, 2)};
+  return spec;
+}
+
+KernelSpec make_ft() {
+  // M = 118, f = 0.57 -> A = 67.3 per iteration, split as the spectral
+  // array X = 40 (touched by evolve, forward FFT, inverse FFT) and aux
+  // Y = 27.3 (touched once).  X is double-buffered (u0/u1 ping-pong),
+  // so consecutive iterations dirty different 40 MB regions and the
+  // measured IB (92.1 avg / 101 max at 1 s, Table 4) exceeds A.
+  // Footprint: X_a + X_b + Y + untouched tables = 118.
+  KernelSpec spec;
+  spec.name = "ft";
+  spec.footprint_mb = 118.0;
+  spec.period_s = 1.2;
+  spec.init_coverage = 1.0;
+  spec.init_duration_s = 1.0;
+
+  auto x_touches = [&](double off, int parity) {
+    spec.phases.push_back(sweep_phase(off, 40.0, 0.34, parity));  // evolve
+    spec.phases.push_back(sweep_phase(80.0, 27.3, 0.24, parity)); // aux Y
+    spec.phases.push_back(sweep_phase(off, 40.0, 0.32, parity));  // fwd FFT
+    spec.phases.push_back(sweep_phase(off, 40.0, 0.18, parity));  // inv FFT
+  };
+  x_touches(0.0, 0);
+  x_touches(40.0, 1);
+  spec.phases.push_back(comm_phase(0.12, 4.0, 2));  // transpose
+  return spec;
+}
+
+KernelSpec make_sweep3d() {
+  // Double-buffered angular-flux arrays (46 MB each) re-swept by the
+  // eight octants, alternating buffers between iterations, plus a
+  // 9 MB cell-array update: union per iteration = 55 MB = 52 % of
+  // 105.5 (Table 3) while the 8 octant re-sweeps land in distinct
+  // timeslices and reproduce Table 4's 49.5 MB/s average.
+  KernelSpec spec;
+  spec.name = "sweep3d";
+  spec.footprint_mb = 105.5;
+  spec.period_s = 7.0;
+  spec.init_coverage = 1.0;
+  spec.init_duration_s = 2.0;
+
+  const double octant_dur = 6.3 / 8.0;
+  for (int parity = 0; parity < 2; ++parity) {
+    double off = parity == 0 ? 0.0 : 46.0;
+    for (int o = 0; o < 8; ++o) {
+      spec.phases.push_back(sweep_phase(off, 46.0, octant_dur, parity));
+    }
+  }
+  spec.phases.push_back(sweep_phase(92.0, 9.0, 0.35));  // cell arrays
+  spec.phases.push_back(comm_phase(0.35, 2.0, 8));      // wavefront
+  return spec;
+}
+
+struct Entry {
+  KernelSpec spec;
+  PaperTargets targets;
+};
+
+const std::map<std::string, Entry>& catalog() {
+  static const std::map<std::string, Entry>* kCatalog = [] {
+    auto* m = new std::map<std::string, Entry>();
+    auto put = [&](KernelSpec spec, PaperTargets t) {
+      std::string key = spec.name;
+      (*m)[key] = Entry{std::move(spec), t};
+    };
+    // Sage family: Tables 2/3/4.
+    put(make_sage("sage-1000", 954.6, 145, 0.53, 78.8, 274.9),
+        {954.6, 779.5, 145, 0.53, 78.8, 274.9});
+    put(make_sage("sage-500", 497.3, 80, 0.54, 49.9, 186.9),
+        {497.3, 407.3, 80, 0.54, 49.9, 186.9});
+    put(make_sage("sage-100", 103.7, 38, 0.56, 15.0, 42.6),
+        {103.7, 86.9, 38, 0.56, 15.0, 42.6});
+    put(make_sage("sage-50", 55.0, 20, 0.57, 9.6, 24.9),
+        {55.0, 45.2, 20, 0.57, 9.6, 24.9});
+    put(make_sweep3d(), {105.5, 105.5, 7, 0.52, 49.5, 79.1});
+    put(make_nas_sweep("sp", 40.1, 0.16, 0.72, 32.6, 0.5),
+        {40.1, 40.1, 0.16, 0.72, 32.6, 32.6});
+    put(make_nas_sweep("lu", 16.6, 0.7, 0.72, 12.5, 0.3),
+        {16.6, 16.6, 0.7, 0.72, 12.5, 12.5});
+    put(make_nas_sweep("bt", 76.5, 0.4, 0.92, 72.7, 1.0),
+        {76.5, 76.5, 0.4, 0.92, 68.6, 72.7});
+    put(make_ft(), {118, 118, 1.2, 0.57, 92.1, 101});
+    return m;
+  }();
+  return *kCatalog;
+}
+
+}  // namespace
+
+std::vector<std::string> catalog_names() {
+  return {"sage-1000", "sage-500", "sage-100", "sage-50",
+          "sweep3d",   "sp",       "lu",       "bt",
+          "ft"};
+}
+
+std::vector<std::string> figure2_names() {
+  return {"sage-1000", "sweep3d", "bt", "sp", "ft", "lu"};
+}
+
+Result<KernelSpec> find_spec(const std::string& name) {
+  auto it = catalog().find(name);
+  if (it == catalog().end()) return not_found("unknown app: " + name);
+  return it->second.spec;
+}
+
+Result<PaperTargets> paper_targets(const std::string& name) {
+  auto it = catalog().find(name);
+  if (it == catalog().end()) return not_found("unknown app: " + name);
+  return it->second.targets;
+}
+
+std::vector<std::string> extra_app_names() { return {"jacobi3d"}; }
+
+Result<double> app_period(const std::string& name) {
+  if (auto it = catalog().find(name); it != catalog().end()) {
+    return it->second.spec.period_s;
+  }
+  if (name == "jacobi3d") return 0.8;  // Jacobi3DApp::kPeriod
+  return not_found("unknown app: " + name);
+}
+
+}  // namespace ickpt::apps

@@ -1,0 +1,46 @@
+// Catalog of calibrated proxy-application specs.
+//
+// Each spec reproduces the memory behaviour the paper measured for the
+// corresponding application (see catalog.cc for the per-app derivation
+// of the constants from Tables 2-4).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "apps/spec.h"
+#include "common/status.h"
+
+namespace ickpt::apps {
+
+/// The paper's measured values for one application, used by the bench
+/// harnesses to print paper-vs-measured rows and by the calibration
+/// tests as targets.
+struct PaperTargets {
+  double footprint_max_mb = 0;  ///< Table 2
+  double footprint_avg_mb = 0;  ///< Table 2
+  double period_s = 0;          ///< Table 3
+  double overwrite_frac = 0;    ///< Table 3 ("Percent of Memory Overwritten")
+  double avg_ib1_mb_s = 0;      ///< Table 4 (timeslice 1 s)
+  double max_ib1_mb_s = 0;      ///< Table 4
+};
+
+/// All application names, in the paper's presentation order:
+/// sage-1000, sage-500, sage-100, sage-50, sweep3d, sp, lu, bt, ft.
+std::vector<std::string> catalog_names();
+
+/// The six applications of Figure 2, in figure order.
+std::vector<std::string> figure2_names();
+
+Result<KernelSpec> find_spec(const std::string& name);
+Result<PaperTargets> paper_targets(const std::string& name);
+
+/// Apps runnable via make_app() but outside the paper's catalog
+/// (currently: "jacobi3d", a genuine stencil mini-app).
+std::vector<std::string> extra_app_names();
+
+/// Nominal main-iteration period for any runnable app (catalog or
+/// extra).  kNotFound for unknown names.
+Result<double> app_period(const std::string& name);
+
+}  // namespace ickpt::apps

@@ -1,0 +1,58 @@
+// Jacobi3D: a genuine 3-D 7-point stencil solver implementing
+// AppKernel directly (not through the scripted proxy machinery).
+//
+// Serves two purposes: it demonstrates that the study pipeline is
+// engine- and kernel-agnostic (any AppKernel works), and it provides a
+// workload whose memory behaviour is *derived* rather than calibrated:
+// double-buffered sweeps dirty exactly half the footprint per
+// iteration, with halo exchanges between sweeps.
+#pragma once
+
+#include "apps/kernel.h"
+
+namespace ickpt::apps {
+
+class Jacobi3DApp final : public AppKernel {
+ public:
+  /// Nominal (unscaled) footprint ~64 MB: two n^3 double grids.
+  static constexpr double kFootprintMb = 64.0;
+  /// Virtual seconds per sweep (grid update + halo exchange).
+  static constexpr double kPeriod = 0.8;
+
+  Jacobi3DApp(AppConfig config, memtrack::DirtyTracker& tracker,
+              sim::VirtualClock& clock);
+
+  std::string_view name() const noexcept override { return "jacobi3d"; }
+  Status init() override;
+  Status iterate() override;
+  double period() const noexcept override { return kPeriod; }
+  std::size_t footprint_bytes() const noexcept override {
+    return space_.footprint_bytes();
+  }
+  region::AddressSpace& space() noexcept override { return space_; }
+
+  std::size_t grid_dim() const noexcept { return n_; }
+  std::uint64_t iterations() const noexcept override { return iterations_; }
+
+  /// Residual-style checksum of the current source grid (for
+  /// correctness checks across checkpoints/restores).
+  double checksum() const;
+
+ private:
+  double& at(double* grid, std::size_t i, std::size_t j,
+             std::size_t k) noexcept {
+    return grid[(i * n_ + j) * n_ + k];
+  }
+
+  AppConfig config_;
+  sim::VirtualClock& clock_;
+  region::AddressSpace space_;
+  std::size_t n_ = 0;
+  region::BlockId src_id_ = region::kInvalidBlock;
+  region::BlockId dst_id_ = region::kInvalidBlock;
+  double* src_ = nullptr;
+  double* dst_ = nullptr;
+  std::uint64_t iterations_ = 0;
+};
+
+}  // namespace ickpt::apps

@@ -1,0 +1,78 @@
+// AppKernel: the interface every proxy scientific application exposes.
+//
+// The paper characterizes its applications (Sage, Sweep3D, NAS
+// SP/LU/BT/FT) purely through observable memory behaviour: footprint
+// size and dynamics (Table 2), main-iteration period and overwrite
+// fraction (Table 3), and the resulting IWS/IB (Table 4, Figures 1-5).
+// The proxies reproduce exactly those observables: each kernel is a
+// real computation over real tracked memory whose phase structure is
+// calibrated to the paper's measurements (see apps/catalog.cc).
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <string>
+#include <string_view>
+
+#include "common/status.h"
+#include "minimpi/comm.h"
+#include "region/address_space.h"
+#include "sim/virtual_clock.h"
+
+namespace ickpt::apps {
+
+struct AppConfig {
+  /// Scales every byte quantity (footprints, write volumes, message
+  /// sizes).  1.0 reproduces the paper's absolute sizes; benches use
+  /// 1/16 by default (documented in DESIGN.md/EXPERIMENTS.md).
+  double footprint_scale = 1.0;
+
+  /// World size assumed for communication scaling (weak scaling:
+  /// per-rank footprint is constant; the communication phase grows
+  /// slowly with log2 of the processor count, Section 6.4.2).
+  int nprocs = 1;
+
+  /// Communicator for ghost exchanges; nullptr runs the kernel without
+  /// communication (the comm-phase time still elapses).
+  mpi::Comm* comm = nullptr;
+
+  std::uint64_t seed = 42;
+};
+
+class AppKernel {
+ public:
+  virtual ~AppKernel() = default;
+
+  virtual std::string_view name() const noexcept = 0;
+
+  /// Allocate the data memory and perform the initialization write
+  /// burst (the paper's "initial peak ... caused by data
+  /// initialization", Section 6.2).  Advances the virtual clock.
+  virtual Status init() = 0;
+
+  /// One main iteration: processing burst(s) followed by a
+  /// communication burst.  Advances the virtual clock by ~period().
+  virtual Status iterate() = 0;
+
+  /// Nominal main-iteration duration in virtual seconds (Table 3).
+  virtual double period() const noexcept = 0;
+
+  /// Current data-memory footprint in bytes.
+  virtual std::size_t footprint_bytes() const noexcept = 0;
+
+  /// The rank's tracked address space.
+  virtual region::AddressSpace& space() noexcept = 0;
+
+  /// Main iterations completed so far.
+  virtual std::uint64_t iterations() const noexcept = 0;
+
+  /// Run iterations until the virtual clock reaches `until_vs`.
+  Status run_until(sim::VirtualClock& clock, double until_vs) {
+    while (clock.now() < until_vs) {
+      ICKPT_RETURN_IF_ERROR(iterate());
+    }
+    return Status::ok();
+  }
+};
+
+}  // namespace ickpt::apps

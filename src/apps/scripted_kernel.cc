@@ -1,0 +1,333 @@
+#include "apps/scripted_kernel.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+
+#include "apps/catalog.h"
+#include "apps/jacobi_app.h"
+#include "common/page.h"
+#include "common/units.h"
+
+namespace ickpt::apps {
+
+namespace {
+/// Write chunk granularity.  Small enough that timeslice boundaries
+/// resolve well inside phases, large enough to amortize the clock.
+constexpr std::size_t kChunkBytes = 256 * kKB;
+
+/// The actual "computation": a position-dependent multiplicative-
+/// congruential update of every 64-bit lattice element — a genuine
+/// read-modify-write, and (because neighbouring cells hold different
+/// values, like any real field) the resulting pages are incompressible
+/// noise rather than artificial constants.
+void compute_over(std::byte* p, std::size_t len) {
+  auto* words = reinterpret_cast<std::uint64_t*>(p);
+  std::size_t n = len / sizeof(std::uint64_t);
+  for (std::size_t i = 0; i < n; ++i) {
+    words[i] = words[i] * 2862933555777941757ull + 3037000493ull +
+               (static_cast<std::uint64_t>(i) << 32 | i);
+  }
+  if (std::size_t tail = len % sizeof(std::uint64_t); tail != 0) {
+    std::memset(p + len - tail, 0x5c, tail);
+  }
+}
+}  // namespace
+
+ScriptedKernel::ScriptedKernel(KernelSpec spec, AppConfig config,
+                               memtrack::DirtyTracker& tracker,
+                               sim::VirtualClock& clock)
+    : spec_(std::move(spec)),
+      config_(config),
+      clock_(clock),
+      space_(tracker, spec_.name),
+      rng_(config.seed ^ 0x9e3779b9u) {}
+
+std::size_t ScriptedKernel::scaled(double mb) const noexcept {
+  double bytes = mb * static_cast<double>(kMB) * config_.footprint_scale;
+  return bytes <= 0 ? 0 : static_cast<std::size_t>(bytes);
+}
+
+double ScriptedKernel::period() const noexcept {
+  // Communication growth stretches the comm phases (Section 6.4.2).
+  // Parity-gated phases come in even/odd pairs with equal durations;
+  // count only the even variant so the sum is one iteration's time.
+  double t = 0;
+  for (const auto& p : spec_.phases) {
+    if (p.parity == 1) continue;
+    t += p.duration * (p.kind == Phase::Kind::kComm ? comm_factor() : 1.0);
+  }
+  return t;
+}
+
+double ScriptedKernel::comm_factor() const noexcept {
+  if (spec_.comm_growth_per_log2p <= 0 || config_.nprocs <= 8) return 1.0;
+  double l = std::log2(static_cast<double>(config_.nprocs) / 8.0);
+  return 1.0 + spec_.comm_growth_per_log2p * l;
+}
+
+double ScriptedKernel::target_fill(std::uint64_t iter) const noexcept {
+  if (!spec_.dynamic) return 1.0;
+  double phase = 2.0 * 3.14159265358979323846 *
+                 static_cast<double>(iter) / spec_.amr_period_iters;
+  return std::clamp(spec_.fill_mean + spec_.fill_amp * std::sin(phase),
+                    0.05, 1.0);
+}
+
+int ScriptedKernel::target_units(std::uint64_t iter) const noexcept {
+  const int n = std::max(1, spec_.block_count);
+  if (!spec_.dynamic) return n;
+  int units = static_cast<int>(
+      std::lround(target_fill(iter) * static_cast<double>(n)));
+  return std::clamp(units, 1, n);
+}
+
+Status ScriptedKernel::map_unit(std::size_t index) {
+  Slot slot;
+  slot.logical_size = unit_bytes_;
+  slot.physical_size = unit_bytes_;
+  auto kind = spec_.dynamic
+                  ? (index % 2 == 0 ? region::AreaKind::kHeap
+                                    : region::AreaKind::kMmap)
+                  : region::AreaKind::kStaticData;
+  auto ref = space_.map(unit_bytes_, kind,
+                        "block" + std::to_string(index) + "@" +
+                            std::to_string(iterations_));
+  if (!ref.is_ok()) return ref.status();
+  slot.id = ref->id;
+  slot.base = ref->mem.data();
+  slots_.push_back(slot);
+  logical_total_ += unit_bytes_;
+  return Status::ok();
+}
+
+Status ScriptedKernel::allocate_blocks() {
+  const int nblocks = std::max(1, spec_.block_count);
+  const std::size_t total = scaled(spec_.footprint_mb);
+  unit_bytes_ = std::max(page_size(),
+                         page_ceil(total / static_cast<std::size_t>(nblocks)));
+  logical_total_ = 0;
+  slots_.clear();
+  slots_.reserve(static_cast<std::size_t>(nblocks));
+  const int units = target_units(0);
+  for (int b = 0; b < units; ++b) {
+    ICKPT_RETURN_IF_ERROR(map_unit(static_cast<std::size_t>(b)));
+  }
+  return Status::ok();
+}
+
+Status ScriptedKernel::realloc_blocks() {
+  // AMR regrid: the footprint follows the spec's fill wave by adding
+  // refined blocks at the *end* of the logical array and dropping them
+  // again when the mesh coarsens.  Dropped blocks leave the tracked
+  // set (memory exclusion, §4.2).  The active set — the first
+  // `overwrite * fill_mean * M` bytes — lives entirely in the
+  // permanent prefix, so regridding never discards active dirty pages,
+  // matching the real code where AMR churns refinement patches, not
+  // the core state.
+  const int units = target_units(iterations_ + 1);
+  while (static_cast<int>(slots_.size()) > units) {
+    ICKPT_RETURN_IF_ERROR(space_.unmap(slots_.back().id));
+    logical_total_ -= slots_.back().physical_size;
+    slots_.pop_back();
+  }
+  while (static_cast<int>(slots_.size()) < units) {
+    std::size_t index = slots_.size();
+    ICKPT_RETURN_IF_ERROR(map_unit(index));
+    // Touch the new block's header (allocation metadata / copy-in).
+    Slot& slot = slots_.back();
+    compute_over(slot.base, std::min(slot.physical_size, page_size()));
+    space_.tracker().note_write(slot.base,
+                                std::min(slot.physical_size, page_size()));
+  }
+  return Status::ok();
+}
+
+void ScriptedKernel::write_logical(std::size_t off, std::size_t len) {
+  // Map a logical byte range onto the *concatenated physical* extents
+  // of the blocks (compacting mapping): when the AMR wave shrinks the
+  // blocks, the logical cells pack into the smaller grid, so every
+  // planned write lands on real memory.  logical_total_ tracks the
+  // current physical footprint.
+  std::size_t pos = off;
+  std::size_t end = std::min(off + len, logical_total_);
+  std::size_t block_start = 0;
+  for (const Slot& slot : slots_) {
+    std::size_t block_end = block_start + slot.physical_size;
+    if (pos >= end) break;
+    if (pos < block_end && end > block_start) {
+      std::size_t lo = std::max(pos, block_start) - block_start;
+      std::size_t hi = std::min(end, block_end) - block_start;
+      if (lo < hi) {
+        compute_over(slot.base + lo, hi - lo);
+        space_.tracker().note_write(slot.base + lo, hi - lo);
+      }
+      pos = std::min(end, block_end);
+    }
+    block_start = block_end;
+  }
+}
+
+void ScriptedKernel::write_chunked(std::size_t off, std::size_t len,
+                                   double duration, std::size_t wrap_begin,
+                                   std::size_t wrap_end) {
+  if (len == 0 || wrap_end <= wrap_begin) {
+    clock_.advance(duration);
+    return;
+  }
+  const std::size_t span = wrap_end - wrap_begin;
+  std::size_t cursor = wrap_begin + (off - wrap_begin) % span;
+  std::size_t remaining = len;
+  const double dt_per_byte = duration / static_cast<double>(len);
+  while (remaining > 0) {
+    std::size_t chunk = std::min({remaining, kChunkBytes,
+                                  wrap_end - cursor});
+    write_logical(cursor, chunk);
+    clock_.advance(dt_per_byte * static_cast<double>(chunk));
+    cursor += chunk;
+    if (cursor >= wrap_end) cursor = wrap_begin;
+    remaining -= chunk;
+  }
+}
+
+Status ScriptedKernel::init() {
+  ICKPT_RETURN_IF_ERROR(allocate_blocks());
+  std::size_t cover = static_cast<std::size_t>(
+      static_cast<double>(logical_total_) * spec_.init_coverage);
+  write_chunked(0, cover, spec_.init_duration_s, 0, logical_total_);
+  return Status::ok();
+}
+
+Status ScriptedKernel::iterate() {
+  if (spec_.dynamic) ICKPT_RETURN_IF_ERROR(realloc_blocks());
+  const int parity = static_cast<int>(iterations_ % 2);
+  for (const auto& phase : spec_.phases) {
+    if (phase.parity >= 0 && phase.parity != parity) continue;
+    ICKPT_RETURN_IF_ERROR(exec_phase(phase));
+  }
+  ++iterations_;
+  return Status::ok();
+}
+
+Status ScriptedKernel::exec_phase(const Phase& phase) {
+  switch (phase.kind) {
+    case Phase::Kind::kSweep: return exec_sweep(phase);
+    case Phase::Kind::kHotCold: return exec_hotcold(phase);
+    case Phase::Kind::kComm: return exec_comm(phase);
+    case Phase::Kind::kIdle:
+      clock_.advance(phase.duration);
+      return Status::ok();
+  }
+  return internal_error("unknown phase kind");
+}
+
+Status ScriptedKernel::exec_sweep(const Phase& phase) {
+  std::size_t seg_off = scaled(phase.segment.offset_mb);
+  std::size_t seg_len = scaled(phase.segment.len_mb);
+  seg_off = std::min(seg_off, logical_total_);
+  seg_len = std::min(seg_len, logical_total_ - seg_off);
+  std::size_t total =
+      seg_len * static_cast<std::size_t>(std::max(1, phase.passes));
+  write_chunked(seg_off, total, phase.duration, seg_off, seg_off + seg_len);
+  return Status::ok();
+}
+
+Status ScriptedKernel::exec_hotcold(const Phase& phase) {
+  const std::size_t hot_len = std::min(scaled(phase.hot_mb), logical_total_);
+  std::size_t cold_begin = scaled(phase.cold_range.offset_mb);
+  std::size_t cold_end = cold_begin + scaled(phase.cold_range.len_mb);
+  cold_begin = std::min(cold_begin, logical_total_);
+  cold_end = std::min(cold_end, logical_total_);
+
+  // Sub-step so hot rewrites and cold advances interleave in time the
+  // way a real burst's writes do.
+  const double kSubStep = 0.25;
+  double remaining = phase.duration;
+  while (remaining > 1e-9) {
+    double dt = std::min(kSubStep, remaining);
+    // Hot: rewrite hot_len bytes per virtual second, cycling.
+    std::size_t hot_bytes = static_cast<std::size_t>(
+        static_cast<double>(hot_len) * dt);
+    if (hot_len > 0 && hot_bytes > 0) {
+      write_chunked(hot_cursor_ % hot_len, hot_bytes, dt * 0.6, 0, hot_len);
+      hot_cursor_ = (hot_cursor_ + hot_bytes) % hot_len;
+    } else {
+      clock_.advance(dt * 0.6);
+    }
+    // Cold: advance the cursor through fresh pages.
+    std::size_t cold_bytes = static_cast<std::size_t>(
+        phase.cold_rate_mb_s * static_cast<double>(kMB) *
+        config_.footprint_scale * dt);
+    if (cold_end > cold_begin && cold_bytes > 0) {
+      if (cold_cursor_ < cold_begin || cold_cursor_ >= cold_end) {
+        cold_cursor_ = cold_begin;
+      }
+      write_chunked(cold_cursor_, cold_bytes, dt * 0.4, cold_begin,
+                    cold_end);
+      cold_cursor_ = cold_begin +
+                     (cold_cursor_ - cold_begin + cold_bytes) %
+                         (cold_end - cold_begin);
+    } else {
+      clock_.advance(dt * 0.4);
+    }
+    remaining -= dt;
+  }
+  return Status::ok();
+}
+
+Status ScriptedKernel::exec_comm(const Phase& phase) {
+  const double duration = phase.duration * comm_factor();
+  mpi::Comm* comm = config_.comm;
+  if (comm == nullptr || comm->size() < 2 || phase.comm_mb <= 0) {
+    clock_.advance(duration);
+    return Status::ok();
+  }
+
+  const int rounds = std::max(1, phase.comm_messages);
+  const std::size_t per_msg = std::max<std::size_t>(
+      64, scaled(phase.comm_mb) / static_cast<std::size_t>(rounds));
+  const int self = comm->rank();
+  const int nprocs = comm->size();
+  const int left = (self + nprocs - 1) % nprocs;
+  const int right = (self + 1) % nprocs;
+  const int tag = 100;
+
+  std::vector<std::byte> sendbuf(per_msg, std::byte{0x42});
+  std::vector<std::byte> recvbuf(per_msg);
+  const double dt = duration / static_cast<double>(rounds);
+
+  for (int r = 0; r < rounds; ++r) {
+    // Ghost exchange with both ring neighbours (buffered sends, so no
+    // deadlock regardless of ordering).
+    comm->send(left, tag, sendbuf);
+    comm->send(right, tag, sendbuf);
+    auto a = comm->recv(mpi::kAnySource, tag, recvbuf);
+    if (!a.is_ok()) return a.status();
+    // Received ghost cells are copied into the landing zone at the
+    // start of the logical array (the paper's receive-buffer copy).
+    write_logical(0, a->bytes);
+    auto b = comm->recv(mpi::kAnySource, tag, recvbuf);
+    if (!b.is_ok()) return b.status();
+    write_logical(per_msg, b->bytes);
+    clock_.advance(dt);
+  }
+  // Convergence check: one allreduce per iteration.
+  (void)comm->allreduce_sum(1.0);
+  return Status::ok();
+}
+
+Result<std::unique_ptr<AppKernel>> make_app(const std::string& name,
+                                            AppConfig config,
+                                            memtrack::DirtyTracker& tracker,
+                                            sim::VirtualClock& clock) {
+  if (name == "jacobi3d") {
+    return std::unique_ptr<AppKernel>(
+        new Jacobi3DApp(config, tracker, clock));
+  }
+  auto spec = find_spec(name);
+  if (!spec.is_ok()) return spec.status();
+  return std::unique_ptr<AppKernel>(
+      new ScriptedKernel(std::move(spec.value()), config, tracker, clock));
+}
+
+}  // namespace ickpt::apps

@@ -1,0 +1,83 @@
+// ScriptedKernel: executes a KernelSpec against real tracked memory.
+//
+// The kernel owns an AddressSpace of one or more blocks covering a
+// logical data array.  Phases write real data (a cheap but genuine
+// read-modify-write over 64-bit lattice elements) into the logical
+// array while advancing the rank's virtual clock in fine-grained
+// chunks, so timeslice boundaries land *inside* phases exactly as wall
+//-clock alarms land inside processing bursts on a real machine.
+#pragma once
+
+#include <vector>
+
+#include "apps/kernel.h"
+#include "apps/spec.h"
+#include "common/rng.h"
+
+namespace ickpt::apps {
+
+class ScriptedKernel final : public AppKernel {
+ public:
+  ScriptedKernel(KernelSpec spec, AppConfig config,
+                 memtrack::DirtyTracker& tracker, sim::VirtualClock& clock);
+
+  std::string_view name() const noexcept override { return spec_.name; }
+  Status init() override;
+  Status iterate() override;
+  double period() const noexcept override;
+  std::size_t footprint_bytes() const noexcept override {
+    return space_.footprint_bytes();
+  }
+  region::AddressSpace& space() noexcept override { return space_; }
+
+  const KernelSpec& spec() const noexcept { return spec_; }
+  std::uint64_t iterations() const noexcept override { return iterations_; }
+
+  /// Write `len` bytes at logical offset `off` (scaled bytes), without
+  /// advancing the clock.  Exposed for tests.
+  void write_logical(std::size_t off, std::size_t len);
+
+ private:
+  std::size_t scaled(double mb) const noexcept;
+  double target_fill(std::uint64_t iter) const noexcept;
+  int target_units(std::uint64_t iter) const noexcept;
+  Status map_unit(std::size_t index);
+  Status allocate_blocks();
+  Status realloc_blocks();
+  void write_chunked(std::size_t off, std::size_t len, double duration,
+                     std::size_t wrap_begin, std::size_t wrap_end);
+  Status exec_phase(const Phase& phase);
+  Status exec_sweep(const Phase& phase);
+  Status exec_hotcold(const Phase& phase);
+  Status exec_comm(const Phase& phase);
+  double comm_factor() const noexcept;
+
+  KernelSpec spec_;
+  AppConfig config_;
+  sim::VirtualClock& clock_;
+  region::AddressSpace space_;
+  Rng rng_;
+
+  struct Slot {
+    region::BlockId id = region::kInvalidBlock;
+    std::size_t logical_size = 0;   ///< fixed extent in the logical array
+    std::size_t physical_size = 0;  ///< currently mapped bytes
+    std::byte* base = nullptr;
+  };
+  std::vector<Slot> slots_;
+  std::size_t logical_total_ = 0;
+  std::size_t unit_bytes_ = 0;
+
+  std::size_t hot_cursor_ = 0;
+  std::size_t cold_cursor_ = 0;
+  std::uint64_t iterations_ = 0;
+};
+
+/// Convenience: build one of the catalog kernels by name
+/// ("sage-1000", "sweep3d", "sp", "lu", "bt", "ft", ...).
+Result<std::unique_ptr<AppKernel>> make_app(const std::string& name,
+                                            AppConfig config,
+                                            memtrack::DirtyTracker& tracker,
+                                            sim::VirtualClock& clock);
+
+}  // namespace ickpt::apps

@@ -1,0 +1,194 @@
+#include "checkpoint/checkpointer.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+#include <map>
+
+#include "checkpoint/compress.h"
+#include "common/crc32.h"
+#include "common/page.h"
+
+namespace ickpt::checkpoint {
+
+std::string checkpoint_key(std::uint32_t rank, std::uint64_t sequence) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "rank%u/ckpt-%012llu", rank,
+                static_cast<unsigned long long>(sequence));
+  return buf;
+}
+
+Checkpointer::Checkpointer(region::AddressSpace& space,
+                           storage::StorageBackend& storage,
+                           CheckpointerOptions options)
+    : space_(space), storage_(storage), options_(options) {}
+
+namespace {
+
+/// Compress a sorted page-index list into contiguous runs.
+std::vector<RunHeader> make_runs(const std::vector<std::uint32_t>& pages) {
+  std::vector<RunHeader> runs;
+  std::size_t i = 0;
+  while (i < pages.size()) {
+    std::size_t j = i + 1;
+    while (j < pages.size() && pages[j] == pages[j - 1] + 1) ++j;
+    runs.push_back(RunHeader{pages[i],
+                             static_cast<std::uint32_t>(j - i)});
+    i = j;
+  }
+  return runs;
+}
+
+/// CRC-tracking write helper.
+struct CrcWriter {
+  storage::Writer& out;
+  Crc32 crc;
+
+  Status write(const void* data, std::size_t len) {
+    crc.update(data, len);
+    return out.write({static_cast<const std::byte*>(data), len});
+  }
+};
+
+}  // namespace
+
+Result<CheckpointMeta> Checkpointer::checkpoint_full(double virtual_time) {
+  auto meta = write_checkpoint(Kind::kFull, nullptr, virtual_time);
+  if (meta.is_ok()) since_full_ = 0;
+  return meta;
+}
+
+Result<CheckpointMeta> Checkpointer::checkpoint_incremental(
+    const memtrack::DirtySnapshot& snapshot, double virtual_time) {
+  const bool need_full =
+      chain_.empty() ||
+      (options_.full_every > 0 && since_full_ >= options_.full_every);
+  if (need_full) return checkpoint_full(virtual_time);
+  auto meta = write_checkpoint(Kind::kIncremental, &snapshot, virtual_time);
+  if (meta.is_ok()) ++since_full_;
+  return meta;
+}
+
+Result<CheckpointMeta> Checkpointer::write_checkpoint(
+    Kind kind, const memtrack::DirtySnapshot* snapshot,
+    double virtual_time) {
+  const auto blocks = space_.blocks();
+  const std::size_t psize = page_size();
+
+  // Index dirty regions by tracker region id.
+  std::map<memtrack::RegionId, const memtrack::RegionDirty*> dirty;
+  if (snapshot != nullptr) {
+    for (const auto& r : snapshot->regions) dirty[r.id] = &r;
+  }
+
+  const std::uint64_t seq = next_seq_++;
+  const std::string key = checkpoint_key(options_.rank, seq);
+  auto writer = storage_.create(key);
+  if (!writer.is_ok()) return writer.status();
+  CrcWriter w{**writer, {}};
+
+  FileHeader header;
+  header.kind = static_cast<std::uint16_t>(kind);
+  header.rank = options_.rank;
+  header.page_size = static_cast<std::uint32_t>(psize);
+  header.sequence = seq;
+  header.parent_sequence = chain_.empty() ? seq : chain_.back().sequence;
+  header.block_count = static_cast<std::uint32_t>(blocks.size());
+  header.virtual_time = virtual_time;
+  ICKPT_RETURN_IF_ERROR(w.write(&header, sizeof header));
+
+  std::uint64_t payload_pages = 0;
+  std::uint64_t zero_pages = 0;
+  std::uint64_t rle_pages = 0;
+  for (const auto& block : blocks) {
+    std::vector<RunHeader> runs;
+    if (kind == Kind::kFull) {
+      auto npages =
+          static_cast<std::uint32_t>(pages_for(block.bytes));
+      if (npages > 0) runs.push_back(RunHeader{0, npages});
+    } else if (auto it = dirty.find(block.region); it != dirty.end()) {
+      runs = make_runs(it->second->dirty_pages);
+    }
+
+    BlockHeader bh;
+    bh.block_id = block.id;
+    bh.kind = static_cast<std::uint32_t>(block.kind);
+    bh.bytes = block.bytes;
+    bh.name_len = static_cast<std::uint32_t>(block.name.size());
+    bh.run_count = static_cast<std::uint32_t>(runs.size());
+    ICKPT_RETURN_IF_ERROR(w.write(&bh, sizeof bh));
+    ICKPT_RETURN_IF_ERROR(w.write(block.name.data(), block.name.size()));
+
+    auto span = space_.block_span(block.id);
+    if (!span.is_ok()) return span.status();
+    const std::size_t block_pages = pages_for(block.bytes);
+    std::vector<std::byte> encoded;
+    for (const auto& run : runs) {
+      if (std::size_t{run.first_page} + run.page_count > block_pages) {
+        return internal_error("dirty run exceeds block extent");
+      }
+      ICKPT_RETURN_IF_ERROR(w.write(&run, sizeof run));
+      for (std::uint32_t p = 0; p < run.page_count; ++p) {
+        const std::byte* page_data =
+            span->data() + (std::size_t{run.first_page} + p) * psize;
+        PageRecord rec;
+        if (options_.compress) {
+          PageEncoding enc = encode_page({page_data, psize}, encoded);
+          rec.encoding = static_cast<std::uint32_t>(enc);
+          rec.payload_len = static_cast<std::uint32_t>(encoded.size());
+          ICKPT_RETURN_IF_ERROR(w.write(&rec, sizeof rec));
+          if (!encoded.empty()) {
+            ICKPT_RETURN_IF_ERROR(w.write(encoded.data(), encoded.size()));
+          }
+          if (enc == PageEncoding::kZero) ++zero_pages;
+          if (enc == PageEncoding::kRle) ++rle_pages;
+        } else {
+          rec.encoding = static_cast<std::uint32_t>(PageEncoding::kPlain);
+          rec.payload_len = static_cast<std::uint32_t>(psize);
+          ICKPT_RETURN_IF_ERROR(w.write(&rec, sizeof rec));
+          ICKPT_RETURN_IF_ERROR(w.write(page_data, psize));
+        }
+      }
+      payload_pages += run.page_count;
+    }
+  }
+
+  FileTrailer trailer;
+  trailer.crc32 = w.crc.value();
+  ICKPT_RETURN_IF_ERROR(
+      (*writer)->write({reinterpret_cast<const std::byte*>(&trailer),
+                        sizeof trailer}));
+  ICKPT_RETURN_IF_ERROR((*writer)->close());
+
+  CheckpointMeta meta;
+  meta.sequence = seq;
+  meta.kind = kind;
+  meta.key = key;
+  meta.payload_pages = payload_pages;
+  meta.file_bytes = (*writer)->bytes_written();
+  meta.zero_pages = zero_pages;
+  meta.rle_pages = rle_pages;
+  meta.virtual_time = virtual_time;
+  chain_.push_back(meta);
+  total_pages_ += payload_pages;
+  return meta;
+}
+
+Status Checkpointer::truncate_before_last_full() {
+  // Find the newest full checkpoint.
+  auto it = std::find_if(chain_.rbegin(), chain_.rend(),
+                         [](const CheckpointMeta& m) {
+                           return m.kind == Kind::kFull;
+                         });
+  if (it == chain_.rend()) return Status::ok();
+  std::size_t keep_from = chain_.size() - 1 -
+                          static_cast<std::size_t>(it - chain_.rbegin());
+  for (std::size_t i = 0; i < keep_from; ++i) {
+    ICKPT_RETURN_IF_ERROR(storage_.remove(chain_[i].key));
+  }
+  chain_.erase(chain_.begin(),
+               chain_.begin() + static_cast<std::ptrdiff_t>(keep_from));
+  return Status::ok();
+}
+
+}  // namespace ickpt::checkpoint

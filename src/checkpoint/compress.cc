@@ -1,0 +1,100 @@
+#include "checkpoint/compress.h"
+
+#include <cstring>
+
+namespace ickpt::checkpoint {
+
+namespace {
+/// RLE element: little-endian u64 count followed by the repeated word.
+struct RlePair {
+  std::uint64_t count;
+  std::uint64_t word;
+};
+}  // namespace
+
+bool is_zero_page(std::span<const std::byte> page) {
+  // Word-wise scan; the compiler vectorizes this loop.
+  const auto* words = reinterpret_cast<const std::uint64_t*>(page.data());
+  std::size_t n = page.size() / 8;
+  std::uint64_t acc = 0;
+  for (std::size_t i = 0; i < n; ++i) acc |= words[i];
+  for (std::size_t i = n * 8; i < page.size(); ++i) {
+    acc |= static_cast<std::uint64_t>(page[i]);
+  }
+  return acc == 0;
+}
+
+PageEncoding encode_page(std::span<const std::byte> page,
+                         std::vector<std::byte>& out) {
+  out.clear();
+  if (is_zero_page(page)) return PageEncoding::kZero;
+
+  // Word RLE.  Abort to plain as soon as it stops paying off.
+  const auto* words = reinterpret_cast<const std::uint64_t*>(page.data());
+  const std::size_t nwords = page.size() / 8;
+  if (nwords * 8 == page.size() && nwords > 0) {
+    std::vector<RlePair> pairs;
+    pairs.reserve(64);
+    std::size_t i = 0;
+    bool profitable = true;
+    while (i < nwords) {
+      std::size_t j = i + 1;
+      while (j < nwords && words[j] == words[i]) ++j;
+      pairs.push_back(RlePair{j - i, words[i]});
+      i = j;
+      if (pairs.size() * sizeof(RlePair) >= page.size()) {
+        profitable = false;
+        break;
+      }
+    }
+    if (profitable && pairs.size() * sizeof(RlePair) < page.size() / 2) {
+      out.resize(pairs.size() * sizeof(RlePair));
+      std::memcpy(out.data(), pairs.data(), out.size());
+      return PageEncoding::kRle;
+    }
+  }
+
+  out.assign(page.begin(), page.end());
+  return PageEncoding::kPlain;
+}
+
+Status decode_page(PageEncoding encoding, std::span<const std::byte> payload,
+                   std::span<std::byte> page_out) {
+  switch (encoding) {
+    case PageEncoding::kZero:
+      if (!payload.empty()) return corruption("zero page with payload");
+      std::memset(page_out.data(), 0, page_out.size());
+      return Status::ok();
+
+    case PageEncoding::kPlain:
+      if (payload.size() != page_out.size()) {
+        return corruption("plain page payload size mismatch");
+      }
+      std::memcpy(page_out.data(), payload.data(), payload.size());
+      return Status::ok();
+
+    case PageEncoding::kRle: {
+      if (payload.size() % sizeof(RlePair) != 0 || payload.empty()) {
+        return corruption("rle payload not a pair multiple");
+      }
+      const std::size_t npairs = payload.size() / sizeof(RlePair);
+      auto* dst = reinterpret_cast<std::uint64_t*>(page_out.data());
+      const std::size_t out_words = page_out.size() / 8;
+      std::size_t pos = 0;
+      for (std::size_t p = 0; p < npairs; ++p) {
+        RlePair pair;
+        std::memcpy(&pair, payload.data() + p * sizeof(RlePair),
+                    sizeof pair);
+        if (pair.count == 0 || pos + pair.count > out_words) {
+          return corruption("rle run exceeds page");
+        }
+        for (std::uint64_t k = 0; k < pair.count; ++k) dst[pos++] = pair.word;
+      }
+      if (pos != out_words) return corruption("rle underfills page");
+      return Status::ok();
+    }
+  }
+  return corruption("unknown page encoding");
+}
+
+}  // namespace ickpt::checkpoint

@@ -1,0 +1,117 @@
+#include "checkpoint/diskless.h"
+
+#include <cstring>
+
+namespace ickpt::checkpoint {
+
+namespace {
+constexpr int kCountTag = 41;
+constexpr int kHeaderTag = 42;
+constexpr int kDataTag = 43;
+
+Result<std::vector<std::byte>> read_object(storage::StorageBackend& store,
+                                           const std::string& key) {
+  auto reader = store.open(key);
+  if (!reader.is_ok()) return reader.status();
+  std::vector<std::byte> data((*reader)->size());
+  std::size_t off = 0;
+  while (off < data.size()) {
+    auto got = (*reader)->read({data.data() + off, data.size() - off});
+    if (!got.is_ok()) return got.status();
+    if (*got == 0) break;
+    off += *got;
+  }
+  data.resize(off);
+  return data;
+}
+
+Status write_object(storage::StorageBackend& store, const std::string& key,
+                    std::span<const std::byte> data) {
+  auto writer = store.create(key);
+  if (!writer.is_ok()) return writer.status();
+  ICKPT_RETURN_IF_ERROR((*writer)->write(data));
+  return (*writer)->close();
+}
+}  // namespace
+
+int buddy_of(int rank, int nprocs) { return (rank + 1) % nprocs; }
+
+Status replicate_chain(mpi::Comm& comm, storage::StorageBackend& store,
+                       const std::vector<std::string>& keys) {
+  if (comm.size() < 2) {
+    return failed_precondition("diskless replication needs >= 2 ranks");
+  }
+  const int buddy = buddy_of(comm.rank(), comm.size());
+  const int source = (comm.rank() + comm.size() - 1) % comm.size();
+
+  // Announce how many objects travel each way.
+  std::uint64_t count = keys.size();
+  comm.send(buddy, kCountTag,
+            {reinterpret_cast<const std::byte*>(&count), sizeof count});
+  std::uint64_t incoming = 0;
+  {
+    auto info = comm.recv(source, kCountTag,
+                          {reinterpret_cast<std::byte*>(&incoming),
+                           sizeof incoming});
+    if (!info.is_ok()) return info.status();
+  }
+
+  // Send our objects (header = [u64 payload size][key bytes], then the
+  // payload), interleaved with receiving the buddy's — buffered sends
+  // make the ordering safe.
+  for (const std::string& key : keys) {
+    auto data = read_object(store, key);
+    if (!data.is_ok()) return data.status();
+    std::vector<std::byte> header(sizeof(std::uint64_t) + key.size());
+    std::uint64_t size = data->size();
+    std::memcpy(header.data(), &size, sizeof size);
+    std::memcpy(header.data() + sizeof size, key.data(), key.size());
+    comm.send(buddy, kHeaderTag, header);
+    comm.send(buddy, kDataTag, *data);
+  }
+  for (std::uint64_t i = 0; i < incoming; ++i) {
+    std::vector<std::byte> header(sizeof(std::uint64_t) + 4096);
+    auto keyinfo = comm.recv(source, kHeaderTag, header);
+    if (!keyinfo.is_ok()) return keyinfo.status();
+    if (keyinfo->bytes < sizeof(std::uint64_t)) {
+      return corruption("diskless: short replica header");
+    }
+    std::uint64_t size = 0;
+    std::memcpy(&size, header.data(), sizeof size);
+    std::string key(
+        reinterpret_cast<const char*>(header.data() + sizeof size),
+        keyinfo->bytes - sizeof size);
+    std::vector<std::byte> data(size);
+    auto datainfo = comm.recv(source, kDataTag, data);
+    if (!datainfo.is_ok()) return datainfo.status();
+    if (datainfo->bytes != size) {
+      return corruption("diskless: replica size mismatch");
+    }
+    ICKPT_RETURN_IF_ERROR(write_object(store, "buddy/" + key, data));
+  }
+  comm.barrier();  // replication epoch complete everywhere
+  return Status::ok();
+}
+
+Result<std::size_t> recover_from_buddy(storage::StorageBackend& buddy_store,
+                                       std::uint32_t rank,
+                                       storage::StorageBackend& dest) {
+  auto keys = buddy_store.list();
+  if (!keys.is_ok()) return keys.status();
+  const std::string prefix = "buddy/rank" + std::to_string(rank) + "/";
+  std::size_t recovered = 0;
+  for (const auto& key : *keys) {
+    if (key.rfind(prefix, 0) != 0) continue;
+    auto data = read_object(buddy_store, key);
+    if (!data.is_ok()) return data.status();
+    ICKPT_RETURN_IF_ERROR(
+        write_object(dest, key.substr(6), *data));  // drop "buddy/"
+    ++recovered;
+  }
+  if (recovered == 0) {
+    return not_found("no buddy replicas for rank " + std::to_string(rank));
+  }
+  return recovered;
+}
+
+}  // namespace ickpt::checkpoint

@@ -1,0 +1,43 @@
+// Diskless checkpointing: buddy replication of checkpoint objects to
+// a peer rank's memory.
+//
+// The paper's related work surveys Plank's Diskless Checkpointing
+// ("uses the memory available on each node instead of saving the
+// checkpoint to stable storage", §7).  Here, after a rank writes a
+// checkpoint object locally, replicate_chain() ships it to the next
+// rank over minimpi; the buddy stores it under "buddy/<original key>".
+// When a node's local store is lost, fetch_buddy_chain() reconstructs
+// the rank's chain from its buddy's replicas — surviving any single
+// node loss without touching a disk.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "minimpi/comm.h"
+#include "storage/backend.h"
+
+namespace ickpt::checkpoint {
+
+/// Buddy of rank r in a P-rank world: (r + 1) % P.
+int buddy_of(int rank, int nprocs);
+
+/// Collective.  Every rank sends the listed objects from its local
+/// `store` to its buddy and stores the objects received from the rank
+/// it buddies for under "buddy/<key>".  `keys` may differ per rank
+/// (each rank replicates its own chain).  Existing replicas with the
+/// same key are overwritten.
+Status replicate_chain(mpi::Comm& comm, storage::StorageBackend& store,
+                       const std::vector<std::string>& keys);
+
+/// Copy every "buddy/rank<rank>/..." replica held in `buddy_store`
+/// back to its original key in `dest` (a fresh local store), so the
+/// normal restore_chain() path runs unchanged.  Returns the number of
+/// objects recovered.
+Result<std::size_t> recover_from_buddy(storage::StorageBackend& buddy_store,
+                                       std::uint32_t rank,
+                                       storage::StorageBackend& dest);
+
+}  // namespace ickpt::checkpoint

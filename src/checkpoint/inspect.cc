@@ -1,0 +1,180 @@
+#include "checkpoint/inspect.h"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "checkpoint/format.h"
+#include "checkpoint/restore.h"
+#include "common/crc32.h"
+
+namespace ickpt::checkpoint {
+
+namespace {
+
+/// Lightweight structural parse of one object: header fields only,
+/// with full-file CRC validation via read_checkpoint_file.
+Result<ChainElement> inspect_object(storage::StorageBackend& storage,
+                                    const std::string& key) {
+  auto reader = storage.open(key);
+  if (!reader.is_ok()) return reader.status();
+  FileHeader header;
+  auto got = (*reader)->read(
+      {reinterpret_cast<std::byte*>(&header), sizeof header});
+  if (!got.is_ok()) return got.status();
+  if (*got != sizeof header || header.magic != kMagic) {
+    return corruption("bad header in " + key);
+  }
+  // Deep validation (structure + CRC) via the restore parser.
+  auto state = read_checkpoint_file(storage, key);
+  if (!state.is_ok()) return state.status();
+
+  ChainElement e;
+  e.sequence = header.sequence;
+  e.parent_sequence = header.parent_sequence;
+  e.full = header.kind == static_cast<std::uint16_t>(Kind::kFull);
+  e.file_bytes = (*reader)->size();
+  e.block_count = header.block_count;
+  e.virtual_time = header.virtual_time;
+  e.key = key;
+  return e;
+}
+
+bool parse_rank_key(const std::string& key, std::uint32_t* rank) {
+  unsigned r = 0;
+  if (std::sscanf(key.c_str(), "rank%u/", &r) == 1) {
+    *rank = r;
+    return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+bool StoreReport::healthy() const noexcept {
+  if (!problems.empty()) return false;
+  for (const auto& [rank, chain] : chains) {
+    if (!chain.healthy()) return false;
+  }
+  return true;
+}
+
+Result<ChainReport> inspect_chain(storage::StorageBackend& storage,
+                                  std::uint32_t rank) {
+  auto keys = storage.list();
+  if (!keys.is_ok()) return keys.status();
+
+  ChainReport report;
+  report.rank = rank;
+  const std::string prefix = "rank" + std::to_string(rank) + "/";
+  for (const auto& key : *keys) {
+    if (key.rfind(prefix, 0) != 0) continue;
+    auto element = inspect_object(storage, key);
+    if (!element.is_ok()) {
+      report.problems.push_back(key + ": " +
+                                element.status().to_string());
+      continue;
+    }
+    report.total_bytes += element->file_bytes;
+    report.elements.push_back(std::move(element.value()));
+  }
+  std::sort(report.elements.begin(), report.elements.end(),
+            [](const ChainElement& a, const ChainElement& b) {
+              return a.sequence < b.sequence;
+            });
+
+  if (report.elements.empty()) {
+    report.problems.push_back("no readable checkpoints for rank " +
+                              std::to_string(rank));
+    return report;
+  }
+
+  // Invariants: a full element must exist; sequences strictly
+  // increase; each non-root's parent is the previous element.
+  bool seen_full = false;
+  for (std::size_t i = 0; i < report.elements.size(); ++i) {
+    const ChainElement& e = report.elements[i];
+    if (e.full) seen_full = true;
+    if (i > 0) {
+      const ChainElement& prev = report.elements[i - 1];
+      if (e.sequence == prev.sequence) {
+        report.problems.push_back("duplicate sequence " +
+                                  std::to_string(e.sequence));
+      }
+      if (!e.full && e.parent_sequence != prev.sequence) {
+        report.problems.push_back(
+            "broken parent link at sequence " +
+            std::to_string(e.sequence) + " (parent " +
+            std::to_string(e.parent_sequence) + ", expected " +
+            std::to_string(prev.sequence) + ")");
+      }
+    } else if (!e.full && e.parent_sequence != e.sequence) {
+      report.problems.push_back(
+          "chain starts with an incremental whose parent " +
+          std::to_string(e.parent_sequence) + " is missing");
+    }
+  }
+  if (!seen_full) {
+    report.problems.push_back("chain has no full checkpoint");
+  }
+
+  // Recoverability check: actually run the restorer.
+  auto state = restore_chain(storage, rank);
+  if (state.is_ok()) {
+    report.recoverable = true;
+    report.recoverable_upto = state->sequence;
+  } else {
+    report.problems.push_back("restore failed: " +
+                              state.status().to_string());
+  }
+  return report;
+}
+
+Result<StoreReport> inspect_store(storage::StorageBackend& storage) {
+  auto keys = storage.list();
+  if (!keys.is_ok()) return keys.status();
+
+  StoreReport report;
+  std::vector<std::uint32_t> ranks;
+  for (const auto& key : *keys) {
+    std::uint32_t rank = 0;
+    if (parse_rank_key(key, &rank)) {
+      if (std::find(ranks.begin(), ranks.end(), rank) == ranks.end()) {
+        ranks.push_back(rank);
+      }
+    } else if (key.rfind("commit/", 0) == 0) {
+      std::uint64_t seq = 0;
+      if (std::sscanf(key.c_str(), "commit/%llu",
+                      reinterpret_cast<unsigned long long*>(&seq)) == 1) {
+        report.commit_markers.push_back(seq);
+      } else {
+        report.problems.push_back("unparseable commit marker: " + key);
+      }
+    }
+  }
+  std::sort(report.commit_markers.begin(), report.commit_markers.end());
+  std::sort(ranks.begin(), ranks.end());
+
+  for (std::uint32_t rank : ranks) {
+    auto chain = inspect_chain(storage, rank);
+    if (!chain.is_ok()) return chain.status();
+    report.chains.emplace(rank, std::move(chain.value()));
+  }
+
+  // Every committed sequence must be restorable *at that sequence* on
+  // every rank (restoring an older state silently loses the work the
+  // marker promised was durable).
+  for (std::uint64_t seq : report.commit_markers) {
+    for (const auto& [rank, chain] : report.chains) {
+      auto state = restore_chain(storage, rank, seq);
+      bool covered = state.is_ok() && state->sequence == seq;
+      if (!covered) {
+        report.problems.push_back(
+            "committed sequence " + std::to_string(seq) +
+            " is not restorable on rank " + std::to_string(rank));
+      }
+    }
+  }
+  return report;
+}
+
+}  // namespace ickpt::checkpoint

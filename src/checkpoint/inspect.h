@@ -1,0 +1,58 @@
+// Chain inspection and verification (fsck for checkpoint stores).
+//
+// Walks a storage backend, parses every checkpoint object, validates
+// structure and CRC, checks chain invariants (a full root, contiguous
+// sequences, consistent parent links, per-rank agreement with the
+// commit markers) and reports per-chain statistics.  This is what an
+// operator runs before trusting a store for recovery.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "storage/backend.h"
+
+namespace ickpt::checkpoint {
+
+struct ChainElement {
+  std::uint64_t sequence = 0;
+  std::uint64_t parent_sequence = 0;
+  bool full = false;
+  std::uint64_t file_bytes = 0;
+  std::uint32_t block_count = 0;
+  double virtual_time = 0;
+  std::string key;
+};
+
+struct ChainReport {
+  std::uint32_t rank = 0;
+  std::vector<ChainElement> elements;   ///< ascending by sequence
+  std::vector<std::string> problems;    ///< human-readable findings
+  std::uint64_t total_bytes = 0;
+  std::uint64_t recoverable_upto = 0;   ///< newest restorable sequence
+  bool recoverable = false;
+
+  bool healthy() const noexcept { return problems.empty(); }
+};
+
+struct StoreReport {
+  std::map<std::uint32_t, ChainReport> chains;  ///< by rank
+  std::vector<std::uint64_t> commit_markers;    ///< ascending
+  std::vector<std::string> problems;            ///< store-level findings
+
+  bool healthy() const noexcept;
+};
+
+/// Inspect one rank's chain.
+Result<ChainReport> inspect_chain(storage::StorageBackend& storage,
+                                  std::uint32_t rank);
+
+/// Inspect the whole store: every rank chain plus the commit markers'
+/// consistency (a committed sequence must be restorable on every rank
+/// that has a chain).
+Result<StoreReport> inspect_store(storage::StorageBackend& storage);
+
+}  // namespace ickpt::checkpoint

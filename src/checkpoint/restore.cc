@@ -1,0 +1,267 @@
+#include "checkpoint/restore.h"
+
+#include <algorithm>
+#include <cstring>
+
+#include "checkpoint/compress.h"
+#include "checkpoint/format.h"
+#include "common/crc32.h"
+#include "common/page.h"
+
+namespace ickpt::checkpoint {
+
+namespace {
+
+/// Buffered sequential reader with CRC tracking and strict bounds.
+class CrcReader {
+ public:
+  explicit CrcReader(storage::Reader& in) : in_(in) {}
+
+  Status read_exact(void* out, std::size_t len) {
+    auto* dst = static_cast<std::byte*>(out);
+    std::size_t got_total = 0;
+    while (got_total < len) {
+      auto got = in_.read({dst + got_total, len - got_total});
+      if (!got.is_ok()) return got.status();
+      if (*got == 0) return corruption("truncated checkpoint file");
+      got_total += *got;
+    }
+    crc_.update(out, len);
+    consumed_ += len;
+    return Status::ok();
+  }
+
+  /// Read without CRC accounting (for the trailer itself).
+  Status read_raw(void* out, std::size_t len) {
+    auto* dst = static_cast<std::byte*>(out);
+    std::size_t got_total = 0;
+    while (got_total < len) {
+      auto got = in_.read({dst + got_total, len - got_total});
+      if (!got.is_ok()) return got.status();
+      if (*got == 0) return corruption("truncated checkpoint trailer");
+      got_total += *got;
+    }
+    consumed_ += len;
+    return Status::ok();
+  }
+
+  std::uint32_t crc() const noexcept { return crc_.value(); }
+  std::uint64_t consumed() const noexcept { return consumed_; }
+
+ private:
+  storage::Reader& in_;
+  Crc32 crc_;
+  std::uint64_t consumed_ = 0;
+};
+
+struct ParsedCheckpoint {
+  FileHeader header;
+  RestoredState state;  ///< blocks with only *this file's* runs applied
+  /// For incrementals: per block, the runs present (page spans).
+  std::map<std::uint32_t, std::vector<RunHeader>> runs;
+};
+
+Result<ParsedCheckpoint> parse(storage::StorageBackend& storage,
+                               const std::string& key) {
+  auto reader = storage.open(key);
+  if (!reader.is_ok()) return reader.status();
+  CrcReader in(**reader);
+
+  ParsedCheckpoint out;
+  FileHeader& h = out.header;
+  ICKPT_RETURN_IF_ERROR(in.read_exact(&h, sizeof h));
+  if (h.magic != kMagic) return corruption("bad magic in " + key);
+  if (h.version != kFormatVersion) {
+    return unsupported("unknown checkpoint version in " + key);
+  }
+  if (h.page_size == 0 || (h.page_size & (h.page_size - 1)) != 0) {
+    return corruption("bad page size in " + key);
+  }
+  if (h.kind != static_cast<std::uint16_t>(Kind::kFull) &&
+      h.kind != static_cast<std::uint16_t>(Kind::kIncremental)) {
+    return corruption("bad checkpoint kind in " + key);
+  }
+  if (h.block_count > 1u << 20) {
+    return corruption("implausible block count in " + key);
+  }
+
+  out.state.sequence = h.sequence;
+  out.state.virtual_time = h.virtual_time;
+
+  const std::size_t psize = h.page_size;
+  for (std::uint32_t b = 0; b < h.block_count; ++b) {
+    BlockHeader bh;
+    ICKPT_RETURN_IF_ERROR(in.read_exact(&bh, sizeof bh));
+    if (bh.name_len > 4096) return corruption("block name too long in " + key);
+    if (bh.bytes > (std::uint64_t{1} << 40)) {
+      return corruption("implausible block size in " + key);
+    }
+    std::string name(bh.name_len, '\0');
+    ICKPT_RETURN_IF_ERROR(in.read_exact(name.data(), name.size()));
+
+    RestoredBlock block;
+    block.id = bh.block_id;
+    block.name = std::move(name);
+    block.kind = static_cast<region::AreaKind>(bh.kind);
+    const std::size_t rounded = page_ceil(bh.bytes, psize);
+    block.data.assign(rounded, std::byte{0});
+    const std::size_t block_pages = rounded / psize;
+
+    auto& run_list = out.runs[bh.block_id];
+    std::vector<std::byte> payload;
+    for (std::uint32_t r = 0; r < bh.run_count; ++r) {
+      RunHeader run;
+      ICKPT_RETURN_IF_ERROR(in.read_exact(&run, sizeof run));
+      if (std::size_t{run.first_page} + run.page_count > block_pages) {
+        return corruption("run out of block bounds in " + key);
+      }
+      for (std::uint32_t p = 0; p < run.page_count; ++p) {
+        PageRecord rec;
+        ICKPT_RETURN_IF_ERROR(in.read_exact(&rec, sizeof rec));
+        if (rec.payload_len > 2 * psize) {
+          return corruption("implausible page payload in " + key);
+        }
+        payload.resize(rec.payload_len);
+        if (!payload.empty()) {
+          ICKPT_RETURN_IF_ERROR(
+              in.read_exact(payload.data(), payload.size()));
+        }
+        std::span<std::byte> page_out{
+            block.data.data() + (std::size_t{run.first_page} + p) * psize,
+            psize};
+        ICKPT_RETURN_IF_ERROR(decode_page(
+            static_cast<PageEncoding>(rec.encoding), payload, page_out));
+      }
+      run_list.push_back(run);
+    }
+    out.state.blocks.emplace(block.id, std::move(block));
+  }
+
+  std::uint32_t computed_crc = in.crc();
+  FileTrailer trailer;
+  ICKPT_RETURN_IF_ERROR(in.read_raw(&trailer, sizeof trailer));
+  if (trailer.end_magic != kEndMagic) {
+    return corruption("bad end magic in " + key);
+  }
+  if (trailer.crc32 != computed_crc) {
+    return corruption("crc mismatch in " + key);
+  }
+  return out;
+}
+
+}  // namespace
+
+Result<RestoredState> read_checkpoint_file(storage::StorageBackend& storage,
+                                           const std::string& key) {
+  auto parsed = parse(storage, key);
+  if (!parsed.is_ok()) return parsed.status();
+  return std::move(parsed->state);
+}
+
+Result<RestoredState> restore_chain(storage::StorageBackend& storage,
+                                    std::uint32_t rank, std::uint64_t upto) {
+  auto keys = storage.list();
+  if (!keys.is_ok()) return keys.status();
+  const std::string prefix = "rank" + std::to_string(rank) + "/";
+  std::vector<std::string> chain_keys;
+  for (const auto& k : *keys) {
+    if (k.rfind(prefix, 0) == 0) chain_keys.push_back(k);
+  }
+  std::sort(chain_keys.begin(), chain_keys.end());
+  if (chain_keys.empty()) {
+    return not_found("no checkpoints for rank " + std::to_string(rank));
+  }
+
+  // Walk backwards to the newest full checkpoint with sequence <= upto.
+  std::vector<ParsedCheckpoint> to_apply;
+  std::ptrdiff_t start = -1;
+  std::vector<ParsedCheckpoint> parsed_files;
+  parsed_files.reserve(chain_keys.size());
+  for (const auto& k : chain_keys) {
+    auto p = parse(storage, k);
+    if (!p.is_ok()) return p.status();
+    if (p->header.sequence > upto) continue;
+    parsed_files.push_back(std::move(p.value()));
+  }
+  if (parsed_files.empty()) {
+    return not_found("no checkpoint at or before requested sequence");
+  }
+  for (std::ptrdiff_t i =
+           static_cast<std::ptrdiff_t>(parsed_files.size()) - 1;
+       i >= 0; --i) {
+    if (parsed_files[static_cast<std::size_t>(i)].header.kind ==
+        static_cast<std::uint16_t>(Kind::kFull)) {
+      start = i;
+      break;
+    }
+  }
+  if (start < 0) {
+    return corruption("chain has no full checkpoint to seed recovery");
+  }
+
+  // Seed with the full checkpoint, then overlay each incremental.
+  RestoredState state =
+      std::move(parsed_files[static_cast<std::size_t>(start)].state);
+  std::uint64_t prev_seq =
+      parsed_files[static_cast<std::size_t>(start)].header.sequence;
+  for (std::size_t i = static_cast<std::size_t>(start) + 1;
+       i < parsed_files.size(); ++i) {
+    ParsedCheckpoint& inc = parsed_files[i];
+    // A gap in the chain means lost deltas: refuse to fabricate state.
+    if (inc.header.parent_sequence != prev_seq) {
+      return corruption("chain gap: sequence " +
+                        std::to_string(inc.header.sequence) +
+                        " expects parent " +
+                        std::to_string(inc.header.parent_sequence) +
+                        " but " + std::to_string(prev_seq) +
+                        " is the newest applied");
+    }
+    prev_seq = inc.header.sequence;
+    // Memory exclusion: drop blocks absent from the newer manifest.
+    for (auto it = state.blocks.begin(); it != state.blocks.end();) {
+      if (inc.state.blocks.find(it->first) == inc.state.blocks.end()) {
+        it = state.blocks.erase(it);
+      } else {
+        ++it;
+      }
+    }
+    const std::size_t psize = inc.header.page_size;
+    for (auto& [id, newer] : inc.state.blocks) {
+      auto it = state.blocks.find(id);
+      if (it == state.blocks.end()) {
+        // New block: starts zero-filled with this file's runs applied.
+        state.blocks.emplace(id, std::move(newer));
+        continue;
+      }
+      RestoredBlock& base = it->second;
+      if (base.data.size() != newer.data.size()) {
+        // Same id cannot change extent (reallocation assigns fresh
+        // ids); treat as corruption rather than guessing.
+        return corruption("block " + std::to_string(id) +
+                          " changed size mid-chain");
+      }
+      for (const RunHeader& run : inc.runs[id]) {
+        std::size_t off = std::size_t{run.first_page} * psize;
+        std::size_t len = std::size_t{run.page_count} * psize;
+        std::memcpy(base.data.data() + off, newer.data.data() + off, len);
+      }
+    }
+    state.sequence = inc.state.sequence;
+    state.virtual_time = inc.state.virtual_time;
+  }
+  return state;
+}
+
+Result<std::map<std::uint32_t, region::BlockId>> materialize(
+    const RestoredState& state, region::AddressSpace& space) {
+  std::map<std::uint32_t, region::BlockId> mapping;
+  for (const auto& [id, block] : state.blocks) {
+    auto ref = space.map(block.data.size(), block.kind, block.name);
+    if (!ref.is_ok()) return ref.status();
+    std::memcpy(ref->mem.data(), block.data.data(), block.data.size());
+    mapping[id] = ref->id;
+  }
+  return mapping;
+}
+
+}  // namespace ickpt::checkpoint

@@ -1,0 +1,49 @@
+// Rollback recovery: rebuild a rank's data memory from its checkpoint
+// chain (the newest full checkpoint plus every later incremental).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "region/address_space.h"
+#include "storage/backend.h"
+
+namespace ickpt::checkpoint {
+
+struct RestoredBlock {
+  std::uint32_t id = 0;
+  std::string name;
+  region::AreaKind kind = region::AreaKind::kHeap;
+  std::vector<std::byte> data;  ///< page-rounded contents
+};
+
+struct RestoredState {
+  std::uint64_t sequence = 0;    ///< chain element the state reflects
+  double virtual_time = 0;       ///< clock value at that checkpoint
+  std::map<std::uint32_t, RestoredBlock> blocks;  ///< by block id
+};
+
+/// Parse and validate one checkpoint object (header, structure, CRC).
+/// Returns kCorruption on any integrity violation.
+Result<RestoredState> read_checkpoint_file(storage::StorageBackend& storage,
+                                           const std::string& key);
+
+/// Rebuild rank state from its chain: locate the newest full
+/// checkpoint with sequence <= `upto` (UINT64_MAX = newest available),
+/// then apply the later incrementals in order.  Blocks that leave the
+/// manifest are dropped (memory exclusion); new blocks start
+/// zero-filled.
+Result<RestoredState> restore_chain(storage::StorageBackend& storage,
+                                    std::uint32_t rank,
+                                    std::uint64_t upto = UINT64_MAX);
+
+/// Materialize a restored state into a fresh AddressSpace; returns the
+/// mapping from checkpointed block ids to new block ids (ascending by
+/// old id, preserving the logical block order).
+Result<std::map<std::uint32_t, region::BlockId>> materialize(
+    const RestoredState& state, region::AddressSpace& space);
+
+}  // namespace ickpt::checkpoint

@@ -1,0 +1,40 @@
+#include "checkpoint/scheduler.h"
+
+namespace ickpt::checkpoint {
+
+BurstAwareScheduler::BurstAwareScheduler(Options options)
+    : options_(options) {}
+
+bool BurstAwareScheduler::observe(const trace::Sample& sample) {
+  const auto iws = static_cast<double>(sample.iws_bytes);
+  if (seen_ == 0) {
+    ewma_ = iws;
+  } else {
+    ewma_ = options_.ewma_alpha * iws + (1 - options_.ewma_alpha) * ewma_;
+  }
+  ++seen_;
+
+  const double since_fire =
+      has_fired_ ? sample.t_end - last_fire_ : sample.t_end;
+
+  bool fire = false;
+  bool was_forced = false;
+  if (seen_ > options_.warmup_slices) {
+    if (since_fire >= options_.max_interval) {
+      fire = true;  // rollback-window bound
+      was_forced = true;
+    } else if (since_fire >= options_.min_interval &&
+               iws < options_.quiet_fraction * ewma_) {
+      fire = true;  // quiet gap between bursts
+    }
+  }
+  if (fire) {
+    last_fire_ = sample.t_end;
+    has_fired_ = true;
+    ++decisions_;
+    if (was_forced) ++forced_;
+  }
+  return fire;
+}
+
+}  // namespace ickpt::checkpoint

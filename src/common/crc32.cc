@@ -1,0 +1,41 @@
+#include "common/crc32.h"
+
+#include <array>
+
+namespace ickpt {
+
+namespace {
+constexpr std::array<std::uint32_t, 256> make_table() {
+  std::array<std::uint32_t, 256> table{};
+  for (std::uint32_t i = 0; i < 256; ++i) {
+    std::uint32_t c = i;
+    for (int k = 0; k < 8; ++k) {
+      c = (c & 1u) ? 0xedb88320u ^ (c >> 1) : c >> 1;
+    }
+    table[i] = c;
+  }
+  return table;
+}
+constexpr auto kTable = make_table();
+}  // namespace
+
+void Crc32::update(std::span<const std::byte> data) noexcept {
+  update(data.data(), data.size());
+}
+
+void Crc32::update(const void* data, std::size_t len) noexcept {
+  const auto* p = static_cast<const unsigned char*>(data);
+  std::uint32_t c = state_;
+  for (std::size_t i = 0; i < len; ++i) {
+    c = kTable[(c ^ p[i]) & 0xffu] ^ (c >> 8);
+  }
+  state_ = c;
+}
+
+std::uint32_t crc32(std::span<const std::byte> data) noexcept {
+  Crc32 c;
+  c.update(data);
+  return c.value();
+}
+
+}  // namespace ickpt

@@ -1,0 +1,29 @@
+// CRC-32 (IEEE 802.3 polynomial), table-driven.
+// Used to validate checkpoint file integrity end-to-end.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+
+namespace ickpt {
+
+/// Incrementally updatable CRC-32.
+class Crc32 {
+ public:
+  void update(std::span<const std::byte> data) noexcept;
+  void update(const void* data, std::size_t len) noexcept;
+
+  /// Finalized value (can be called repeatedly; update may continue).
+  std::uint32_t value() const noexcept { return ~state_; }
+
+  void reset() noexcept { state_ = 0xffffffffu; }
+
+ private:
+  std::uint32_t state_ = 0xffffffffu;
+};
+
+/// One-shot convenience.
+std::uint32_t crc32(std::span<const std::byte> data) noexcept;
+
+}  // namespace ickpt

@@ -1,0 +1,41 @@
+// Minimal leveled logging (stderr).  Intentionally tiny: the library is
+// a measurement tool, and logging must never perturb what it measures,
+// so everything below kWarn compiles to a cheap level check.
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace ickpt {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
+
+/// Process-wide minimum level (default kWarn; benches raise to kInfo).
+LogLevel log_level() noexcept;
+void set_log_level(LogLevel level) noexcept;
+
+namespace detail {
+void log_emit(LogLevel level, const std::string& msg);
+
+class LogLine {
+ public:
+  explicit LogLine(LogLevel level) : level_(level) {}
+  ~LogLine() { log_emit(level_, os_.str()); }
+  template <typename T>
+  LogLine& operator<<(const T& v) {
+    os_ << v;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream os_;
+};
+}  // namespace detail
+
+}  // namespace ickpt
+
+#define ICKPT_LOG(level)                                     \
+  if (::ickpt::LogLevel::level < ::ickpt::log_level()) {     \
+  } else                                                     \
+    ::ickpt::detail::LogLine(::ickpt::LogLevel::level)

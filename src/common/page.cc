@@ -1,0 +1,45 @@
+#include "common/page.h"
+
+#include <unistd.h>
+
+#include <bit>
+
+namespace ickpt {
+
+namespace {
+std::size_t query_page_size() noexcept {
+  long p = ::sysconf(_SC_PAGESIZE);
+  return p > 0 ? static_cast<std::size_t>(p) : 4096u;
+}
+}  // namespace
+
+std::size_t page_size() noexcept {
+  static const std::size_t kSize = query_page_size();
+  return kSize;
+}
+
+unsigned page_shift() noexcept {
+  static const unsigned kShift =
+      static_cast<unsigned>(std::countr_zero(page_size()));
+  return kShift;
+}
+
+std::size_t page_floor(std::size_t n) noexcept {
+  return page_floor(n, page_size());
+}
+
+std::size_t page_ceil(std::size_t n) noexcept {
+  return page_ceil(n, page_size());
+}
+
+std::size_t pages_for(std::size_t bytes) noexcept {
+  return page_ceil(bytes) >> page_shift();
+}
+
+PageRange page_range_covering(const void* addr, std::size_t len) noexcept {
+  auto a = reinterpret_cast<std::uintptr_t>(addr);
+  return PageRange{page_floor(a, page_size()),
+                   page_ceil(a + len, page_size())};
+}
+
+}  // namespace ickpt

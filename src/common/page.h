@@ -1,0 +1,53 @@
+// Page arithmetic helpers shared by every module that deals with the
+// virtual-memory system.  All tracking in ickpt happens at page
+// granularity, like the paper's instrumentation library (Section 4.2).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace ickpt {
+
+/// Runtime page size of the host (sysconf(_SC_PAGESIZE)), cached.
+std::size_t page_size() noexcept;
+
+/// log2(page_size()) for cheap divisions, cached.
+unsigned page_shift() noexcept;
+
+/// Round `n` down to a page boundary.
+constexpr std::size_t page_floor(std::size_t n, std::size_t psize) noexcept {
+  return n & ~(psize - 1);
+}
+
+/// Round `n` up to a page boundary.
+constexpr std::size_t page_ceil(std::size_t n, std::size_t psize) noexcept {
+  return (n + psize - 1) & ~(psize - 1);
+}
+
+std::size_t page_floor(std::size_t n) noexcept;
+std::size_t page_ceil(std::size_t n) noexcept;
+
+/// Number of pages needed to cover `bytes`.
+std::size_t pages_for(std::size_t bytes) noexcept;
+
+/// A half-open, page-aligned address range [begin, end).
+struct PageRange {
+  std::uintptr_t begin = 0;
+  std::uintptr_t end = 0;
+
+  constexpr std::size_t bytes() const noexcept { return end - begin; }
+  std::size_t pages() const noexcept { return bytes() >> page_shift(); }
+  constexpr bool contains(std::uintptr_t addr) const noexcept {
+    return addr >= begin && addr < end;
+  }
+  constexpr bool empty() const noexcept { return begin >= end; }
+  constexpr bool overlaps(const PageRange& o) const noexcept {
+    return begin < o.end && o.begin < end;
+  }
+  friend constexpr bool operator==(const PageRange&, const PageRange&) = default;
+};
+
+/// Build a page-aligned range covering [addr, addr+len).
+PageRange page_range_covering(const void* addr, std::size_t len) noexcept;
+
+}  // namespace ickpt

@@ -1,0 +1,67 @@
+// Streaming summary statistics.
+//
+// The paper reports per-run maxima and means "omitting the first
+// [sample], because the first experiment takes considerably longer"
+// (Section 5).  SummaryStats supports that warm-up skip natively.
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+#include <cstddef>
+#include <limits>
+
+namespace ickpt {
+
+/// Welford-style accumulator: count, min, max, mean, variance.
+class SummaryStats {
+ public:
+  /// `skip_first` warm-up samples are discarded before accumulation.
+  explicit SummaryStats(std::size_t skip_first = 0) : skip_(skip_first) {}
+
+  void add(double x) noexcept {
+    if (skip_ > 0) {
+      --skip_;
+      ++skipped_;
+      return;
+    }
+    ++n_;
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+    double delta = x - mean_;
+    mean_ += delta / static_cast<double>(n_);
+    m2_ += delta * (x - mean_);
+  }
+
+  std::size_t count() const noexcept { return n_; }
+  std::size_t skipped() const noexcept { return skipped_; }
+  bool empty() const noexcept { return n_ == 0; }
+
+  double min() const noexcept { return n_ ? min_ : 0.0; }
+  double max() const noexcept { return n_ ? max_ : 0.0; }
+  double mean() const noexcept { return mean_; }
+
+  double variance() const noexcept {
+    return n_ > 1 ? m2_ / static_cast<double>(n_ - 1) : 0.0;
+  }
+  double stddev() const noexcept { return std::sqrt(variance()); }
+
+  void reset() noexcept {
+    n_ = 0;
+    skipped_ = 0;
+    min_ = std::numeric_limits<double>::infinity();
+    max_ = -std::numeric_limits<double>::infinity();
+    mean_ = 0.0;
+    m2_ = 0.0;
+  }
+
+ private:
+  std::size_t skip_ = 0;
+  std::size_t skipped_ = 0;
+  std::size_t n_ = 0;
+  double min_ = std::numeric_limits<double>::infinity();
+  double max_ = -std::numeric_limits<double>::infinity();
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+};
+
+}  // namespace ickpt

@@ -1,0 +1,113 @@
+// Lightweight error-handling vocabulary.  I/O-heavy modules (storage,
+// checkpoint) return Status / Result<T> instead of throwing so that
+// failure injection in tests is explicit and cheap.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <utility>
+#include <variant>
+
+namespace ickpt {
+
+enum class ErrorCode {
+  kOk = 0,
+  kInvalidArgument,
+  kNotFound,
+  kAlreadyExists,
+  kOutOfRange,
+  kFailedPrecondition,
+  kIoError,
+  kCorruption,
+  kUnsupported,
+  kResourceExhausted,
+  kInternal,
+};
+
+std::string_view to_string(ErrorCode code) noexcept;
+
+class [[nodiscard]] Status {
+ public:
+  Status() = default;  // OK
+  Status(ErrorCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status ok() { return Status(); }
+
+  bool is_ok() const noexcept { return code_ == ErrorCode::kOk; }
+  explicit operator bool() const noexcept { return is_ok(); }
+  ErrorCode code() const noexcept { return code_; }
+  const std::string& message() const noexcept { return message_; }
+
+  /// Human-readable "CODE: message" form for logs and test output.
+  std::string to_string() const;
+
+ private:
+  ErrorCode code_ = ErrorCode::kOk;
+  std::string message_;
+};
+
+inline Status invalid_argument(std::string msg) {
+  return {ErrorCode::kInvalidArgument, std::move(msg)};
+}
+inline Status not_found(std::string msg) {
+  return {ErrorCode::kNotFound, std::move(msg)};
+}
+inline Status failed_precondition(std::string msg) {
+  return {ErrorCode::kFailedPrecondition, std::move(msg)};
+}
+inline Status io_error(std::string msg) {
+  return {ErrorCode::kIoError, std::move(msg)};
+}
+inline Status corruption(std::string msg) {
+  return {ErrorCode::kCorruption, std::move(msg)};
+}
+inline Status unsupported(std::string msg) {
+  return {ErrorCode::kUnsupported, std::move(msg)};
+}
+inline Status internal_error(std::string msg) {
+  return {ErrorCode::kInternal, std::move(msg)};
+}
+
+/// Minimal expected-like result type (the toolchain predates
+/// std::expected).  Holds either a value or a non-OK Status.
+template <typename T>
+class [[nodiscard]] Result {
+ public:
+  Result(T value) : v_(std::move(value)) {}          // NOLINT(implicit)
+  Result(Status status) : v_(std::move(status)) {}   // NOLINT(implicit)
+
+  bool is_ok() const noexcept { return std::holds_alternative<T>(v_); }
+  explicit operator bool() const noexcept { return is_ok(); }
+
+  const T& value() const& { return std::get<T>(v_); }
+  T& value() & { return std::get<T>(v_); }
+  T&& value() && { return std::get<T>(std::move(v_)); }
+
+  /// Status of a failed result; Status::ok() when a value is held.
+  Status status() const {
+    if (is_ok()) return Status::ok();
+    return std::get<Status>(v_);
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+ private:
+  std::variant<T, Status> v_;
+};
+
+#define ICKPT_RETURN_IF_ERROR(expr)                \
+  do {                                             \
+    ::ickpt::Status _st = (expr);                  \
+    if (!_st.is_ok()) return _st;                  \
+  } while (0)
+
+#define ICKPT_ASSIGN_OR_RETURN(lhs, expr)          \
+  auto lhs##_result = (expr);                      \
+  if (!lhs##_result.is_ok()) return lhs##_result.status(); \
+  auto& lhs = lhs##_result.value()
+
+}  // namespace ickpt

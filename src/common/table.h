@@ -1,0 +1,42 @@
+// Console table and CSV emission for the benchmark harnesses.
+//
+// Every bench binary prints a paper-style table to stdout and writes
+// the same rows as CSV so figures can be re-plotted.
+#pragma once
+
+#include <cstddef>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace ickpt {
+
+/// Column-aligned text table with a title, header row, and data rows.
+class TextTable {
+ public:
+  explicit TextTable(std::string title) : title_(std::move(title)) {}
+
+  void set_header(std::vector<std::string> cols);
+  void add_row(std::vector<std::string> cols);
+
+  /// Convenience: formats doubles with the given precision.
+  static std::string num(double v, int precision = 1);
+
+  /// Render with box-drawing-free ASCII alignment.
+  void print(std::ostream& os) const;
+
+  /// Write as CSV (header + rows) to `path`.  Returns false on I/O error.
+  bool write_csv(const std::string& path) const;
+
+  std::size_t rows() const noexcept { return rows_.size(); }
+
+ private:
+  std::string title_;
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Escape one CSV field (quotes fields containing , " or newline).
+std::string csv_escape(const std::string& field);
+
+}  // namespace ickpt

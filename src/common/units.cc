@@ -1,0 +1,34 @@
+#include "common/units.h"
+
+#include <cstdio>
+
+namespace ickpt {
+
+namespace {
+std::string format_with_unit(double value, const char* unit) {
+  char buf[64];
+  if (value >= 100.0) {
+    std::snprintf(buf, sizeof buf, "%.0f %s", value, unit);
+  } else if (value >= 10.0) {
+    std::snprintf(buf, sizeof buf, "%.1f %s", value, unit);
+  } else {
+    std::snprintf(buf, sizeof buf, "%.2f %s", value, unit);
+  }
+  return buf;
+}
+}  // namespace
+
+std::string format_bytes(std::size_t bytes) {
+  auto b = static_cast<double>(bytes);
+  if (bytes >= kGB) return format_with_unit(b / static_cast<double>(kGB), "GB");
+  if (bytes >= kMB) return format_with_unit(b / static_cast<double>(kMB), "MB");
+  if (bytes >= kKB) return format_with_unit(b / static_cast<double>(kKB), "KB");
+  return format_with_unit(b, "B");
+}
+
+std::string format_bandwidth(double bytes_per_second) {
+  if (bytes_per_second < 0) bytes_per_second = 0;
+  return format_bytes(static_cast<std::size_t>(bytes_per_second)) + "/s";
+}
+
+}  // namespace ickpt

@@ -1,0 +1,47 @@
+#include "core/monitor.h"
+
+namespace ickpt {
+
+Result<std::unique_ptr<Monitor>> Monitor::create(MonitorOptions options) {
+  if (options.timeslice <= 0) {
+    return invalid_argument("Monitor: timeslice must be positive");
+  }
+  auto tracker = memtrack::make_tracker(options.engine);
+  if (!tracker.is_ok()) return tracker.status();
+  return std::unique_ptr<Monitor>(
+      new Monitor(options, std::move(tracker.value())));
+}
+
+Monitor::Monitor(MonitorOptions options,
+                 std::unique_ptr<memtrack::DirtyTracker> tracker)
+    : options_(options), tracker_(std::move(tracker)) {
+  sim::SamplerOptions sopts;
+  sopts.timeslice = options_.timeslice;
+  sampler_ = std::make_unique<sim::WallClockSampler>(*tracker_, sopts);
+}
+
+Monitor::~Monitor() { stop(); }
+
+Result<memtrack::RegionId> Monitor::attach(std::span<std::byte> mem,
+                                           std::string name) {
+  return tracker_->attach(mem, std::move(name));
+}
+
+Status Monitor::detach(memtrack::RegionId id) { return tracker_->detach(id); }
+
+Status Monitor::start() { return sampler_->start(); }
+
+void Monitor::stop() { sampler_->stop(); }
+
+trace::TimeSeries Monitor::series() const { return sampler_->series(); }
+
+analysis::IBStats Monitor::ib_stats(std::size_t skip_first) const {
+  return analysis::compute_ib_stats(sampler_->series(), skip_first);
+}
+
+analysis::FeasibilityVerdict Monitor::feasibility(
+    std::size_t skip_first) const {
+  return analysis::assess_feasibility(ib_stats(skip_first));
+}
+
+}  // namespace ickpt

@@ -1,0 +1,129 @@
+#include "core/parallel_run.h"
+
+#include <cstdio>
+#include <stdexcept>
+#include <vector>
+
+namespace ickpt {
+
+namespace {
+
+std::string step_commit_key(int step) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "step-commit/%012d", step);
+  return buf;
+}
+
+/// Newest globally committed step, or -1.
+int last_committed_step(storage::StorageBackend& storage) {
+  auto keys = storage.list();
+  if (!keys.is_ok()) return -1;
+  int best = -1;
+  for (const auto& k : *keys) {
+    int step = 0;
+    if (std::sscanf(k.c_str(), "step-commit/%d", &step) == 1) {
+      best = std::max(best, step);
+    }
+  }
+  return best;
+}
+
+}  // namespace
+
+Result<ParallelRunResult> run_parallel_recoverable(
+    storage::StorageBackend& storage, const ParallelRunOptions& options,
+    const ParallelBody& body) {
+  if (options.nprocs < 1) return invalid_argument("nprocs must be >= 1");
+  if (options.checkpoint_every < 1) {
+    return invalid_argument("checkpoint_every must be >= 1");
+  }
+
+  const int committed = last_committed_step(storage);
+  std::vector<Status> rank_status(
+      static_cast<std::size_t>(options.nprocs));
+  std::vector<int> first_steps(static_cast<std::size_t>(options.nprocs), 0);
+
+  bool threw = false;
+  std::string thrown_what;
+  auto run_world = [&](const std::function<void(mpi::Comm&)>& fn) {
+    try {
+      mpi::Runtime::run(options.nprocs, fn);
+    } catch (const std::exception& e) {
+      threw = true;
+      thrown_what = e.what();
+    }
+  };
+
+  run_world([&](mpi::Comm& comm) {
+    auto fail = [&](Status st) {
+      rank_status[static_cast<std::size_t>(comm.rank())] = st;
+      throw std::runtime_error("parallel run failed on rank " +
+                               std::to_string(comm.rank()) + ": " +
+                               st.to_string());
+    };
+
+    RecoverableRun::Options ropts;
+    ropts.rank = static_cast<std::uint32_t>(comm.rank());
+    ropts.checkpoint_every = options.checkpoint_every;
+    ropts.full_every = options.full_every;
+    ropts.engine = options.engine;
+    auto run = RecoverableRun::create(storage, ropts);
+    if (!run.is_ok()) fail(run.status());
+
+    RankContext ctx{comm, **run};
+    if (Status st = body(ctx, /*declare=*/true, -1); !st.is_ok()) {
+      fail(st);
+    }
+    auto first = (*run)->begin(committed);
+    if (!first.is_ok()) fail(first.status());
+    first_steps[static_cast<std::size_t>(comm.rank())] = *first;
+
+    // Ranks must agree on the resume point (the commit protocol
+    // guarantees every rank checkpointed the committed step).
+    double max_first = comm.allreduce_max(static_cast<double>(*first));
+    if (static_cast<int>(max_first) != *first) {
+      fail(internal_error("ranks disagree on the resume step"));
+    }
+
+    for (int step = *first; step < options.total_steps; ++step) {
+      if (Status st = body(ctx, /*declare=*/false, step); !st.is_ok()) {
+        fail(st);
+      }
+      if (Status st = (*run)->did_step(step); !st.is_ok()) fail(st);
+
+      if ((step + 1) % options.checkpoint_every == 0) {
+        // Global commit: all local checkpoints for `step` are durable
+        // once everyone reaches this point; rank 0 then publishes the
+        // marker.  A crash before the marker rolls the world back to
+        // the previous commit — consistently on every rank.
+        comm.barrier();
+        if (comm.rank() == 0) {
+          auto w = storage.create(step_commit_key(step));
+          if (!w.is_ok()) fail(w.status());
+          std::uint64_t payload[2] = {
+              static_cast<std::uint64_t>(step),
+              static_cast<std::uint64_t>(comm.size())};
+          if (Status st = (*w)->write(
+                  {reinterpret_cast<const std::byte*>(payload),
+                   sizeof payload});
+              !st.is_ok()) {
+            fail(st);
+          }
+          if (Status st = (*w)->close(); !st.is_ok()) fail(st);
+        }
+        comm.barrier();
+      }
+    }
+  });
+
+  for (const Status& st : rank_status) {
+    if (!st.is_ok()) return st;
+  }
+  if (threw) return internal_error(thrown_what);
+  ParallelRunResult result;
+  result.first_step = first_steps[0];
+  result.committed_steps = last_committed_step(storage) + 1;
+  return result;
+}
+
+}  // namespace ickpt

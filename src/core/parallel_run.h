@@ -1,0 +1,51 @@
+// Parallel recoverable execution: RecoverableRun across minimpi ranks
+// with coordinated commits — the full autonomic loop for a parallel
+// application.
+//
+// Every rank owns a private RecoverableRun (its own chain in shared
+// storage); step completion is committed *globally*: after each
+// checkpointed step the ranks agree (allreduce) and rank 0 writes a
+// step-commit marker.  On restart, every rank resumes from the newest
+// globally-committed step, even if some rank had locally checkpointed
+// further — no rank can run ahead of a consistent recovery line.
+#pragma once
+
+#include <functional>
+
+#include "core/recoverable.h"
+#include "minimpi/comm.h"
+
+namespace ickpt {
+
+struct ParallelRunOptions {
+  int nprocs = 2;
+  int total_steps = 10;
+  int checkpoint_every = 1;
+  std::uint64_t full_every = 16;
+  memtrack::EngineKind engine = memtrack::EngineKind::kMProtect;
+};
+
+/// Per-rank context handed to the body.
+struct RankContext {
+  mpi::Comm& comm;
+  RecoverableRun& run;
+};
+
+/// Rank body: declare blocks via ctx.run.add_block() when `declare` is
+/// true (called before begin()); afterwards called once per step with
+/// `step` >= 0.  Return a non-OK status to abort the world.
+using ParallelBody =
+    std::function<Status(RankContext& ctx, bool declare, int step)>;
+
+struct ParallelRunResult {
+  int first_step = 0;       ///< step the ranks resumed from (0 = fresh)
+  int committed_steps = 0;  ///< globally committed after the run
+};
+
+/// Run (or resume) the parallel computation.  Rank r's chain lives
+/// under "rank<r>/" in `storage`; step commits under "step-commit/".
+Result<ParallelRunResult> run_parallel_recoverable(
+    storage::StorageBackend& storage, const ParallelRunOptions& options,
+    const ParallelBody& body);
+
+}  // namespace ickpt

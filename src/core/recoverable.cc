@@ -1,0 +1,184 @@
+#include "core/recoverable.h"
+
+#include <cstring>
+
+#include "checkpoint/restore.h"
+#include "common/page.h"
+
+namespace ickpt {
+
+namespace {
+/// The hidden metadata block: last completed step, stored in tracked
+/// memory so it rides inside every checkpoint.
+struct RunMeta {
+  std::int64_t last_step = -1;
+  std::uint64_t magic = 0x69636b7072756e01ull;  // "ickprun" v1
+};
+}  // namespace
+
+Result<std::unique_ptr<RecoverableRun>> RecoverableRun::create(
+    storage::StorageBackend& backend, Options options) {
+  if (options.checkpoint_every < 1) {
+    return invalid_argument("checkpoint_every must be >= 1");
+  }
+  auto tracker = memtrack::make_tracker(options.engine);
+  if (!tracker.is_ok()) return tracker.status();
+  return std::unique_ptr<RecoverableRun>(
+      new RecoverableRun(backend, options, std::move(tracker.value())));
+}
+
+RecoverableRun::RecoverableRun(
+    storage::StorageBackend& backend, Options options,
+    std::unique_ptr<memtrack::DirtyTracker> tracker)
+    : backend_(backend), options_(options), tracker_(std::move(tracker)) {
+  space_ = std::make_unique<region::AddressSpace>(
+      *tracker_, "rank" + std::to_string(options_.rank));
+  checkpoint::CheckpointerOptions copts;
+  copts.rank = options_.rank;
+  copts.full_every = options_.full_every;
+  checkpointer_ = std::make_unique<checkpoint::Checkpointer>(
+      *space_, backend_, copts);
+}
+
+RecoverableRun::~RecoverableRun() = default;
+
+Result<std::span<std::byte>> RecoverableRun::add_block(std::size_t bytes,
+                                                       std::string name) {
+  if (begun_) return failed_precondition("add_block after begin()");
+  auto ref = space_->map(bytes, region::AreaKind::kHeap, name);
+  if (!ref.is_ok()) return ref.status();
+  blocks_.push_back(DeclaredBlock{std::move(name), bytes, ref->id});
+  return ref->mem;
+}
+
+Result<int> RecoverableRun::begin(int max_step) {
+  if (begun_) return failed_precondition("begin() called twice");
+  // The meta block is mapped last so user block ids are stable whether
+  // or not recovery happens.
+  auto meta_ref = space_->map(sizeof(RunMeta), region::AreaKind::kHeap,
+                              "__ickpt_meta");
+  if (!meta_ref.is_ok()) return meta_ref.status();
+  meta_block_ = meta_ref->id;
+  auto* meta = reinterpret_cast<RunMeta*>(meta_ref->mem.data());
+  *meta = RunMeta{};
+  begun_ = true;
+
+  int resume_step = 0;
+  auto state = checkpoint::restore_chain(backend_, options_.rank);
+  // Honour the resume bound: walk the chain backwards until the
+  // recovered step is within it (coordinated restart must not resume
+  // past the last globally committed step).
+  while (state.is_ok()) {
+    checkpoint::RestoredState& s = state.value();
+    auto it = s.blocks.rbegin();
+    if (it == s.blocks.rend()) break;
+    RunMeta recovered;
+    if (it->second.data.size() < sizeof recovered) break;
+    std::memcpy(&recovered, it->second.data.data(), sizeof recovered);
+    if (recovered.last_step <= max_step) break;
+    if (s.sequence == 0) {
+      state = not_found("no checkpoint at or before the resume bound");
+      break;
+    }
+    state = checkpoint::restore_chain(backend_, options_.rank,
+                                      s.sequence - 1);
+  }
+  if (state.is_ok()) {
+    // Recovery path: restored blocks map onto declared blocks by
+    // position (block ids are assigned deterministically: user blocks
+    // in declaration order, then the meta block).
+    if (state->blocks.size() != blocks_.size() + 1) {
+      return corruption(
+          "checkpoint layout does not match declared blocks");
+    }
+    auto it = state->blocks.begin();
+    for (const DeclaredBlock& decl : blocks_) {
+      const auto& restored = it->second;
+      auto span = space_->block_span(decl.id);
+      if (!span.is_ok()) return span.status();
+      if (restored.data.size() != span->size()) {
+        return corruption("block '" + decl.name +
+                          "' size changed across restart");
+      }
+      std::memcpy(span->data(), restored.data.data(), span->size());
+      ++it;
+    }
+    // Last restored block is the meta block.
+    const auto& restored_meta = it->second;
+    if (restored_meta.data.size() < sizeof(RunMeta)) {
+      return corruption("meta block truncated");
+    }
+    RunMeta recovered;
+    std::memcpy(&recovered, restored_meta.data.data(), sizeof recovered);
+    if (recovered.magic != RunMeta{}.magic) {
+      return corruption("meta block magic mismatch");
+    }
+    *meta = recovered;
+    last_step_ = static_cast<int>(recovered.last_step);
+    resume_step = last_step_ + 1;
+    // Continue the existing chain rather than overwriting it.
+    // (Sequence numbers restart per process; keep history separate by
+    // truncating the old chain to its last full + applying ours on
+    // top would interleave sequences, so instead clear and re-seed.)
+    auto keys = backend_.list();
+    if (keys.is_ok()) {
+      const std::string prefix = "rank" + std::to_string(options_.rank) + "/";
+      for (const auto& k : *keys) {
+        if (k.rfind(prefix, 0) == 0) (void)backend_.remove(k);
+      }
+    }
+    ICKPT_RETURN_IF_ERROR(tracker_->arm());
+    // Re-seed with a full checkpoint of the recovered state so a crash
+    // right after recovery still has a valid chain.
+    auto seeded = checkpointer_->checkpoint_full(
+        static_cast<double>(resume_step));
+    if (!seeded.is_ok()) return seeded.status();
+    return resume_step;
+  }
+  if (state.status().code() != ErrorCode::kNotFound) {
+    return state.status();  // real storage/corruption problem
+  }
+  // Fresh start.  Remove any stale (never-committed) chain so the
+  // re-seeded sequence numbers don't interleave with dead history.
+  auto keys = backend_.list();
+  if (keys.is_ok()) {
+    const std::string prefix = "rank" + std::to_string(options_.rank) + "/";
+    for (const auto& k : *keys) {
+      if (k.rfind(prefix, 0) == 0) (void)backend_.remove(k);
+    }
+  }
+  ICKPT_RETURN_IF_ERROR(tracker_->arm());
+  return resume_step;
+}
+
+Status RecoverableRun::take_checkpoint(int step) {
+  auto meta_span = space_->block_span(meta_block_);
+  if (!meta_span.is_ok()) return meta_span.status();
+  auto* meta = reinterpret_cast<RunMeta*>(meta_span->data());
+  meta->last_step = step;
+  tracker_->note_write(meta, sizeof(RunMeta));
+
+  auto snap = tracker_->collect(/*rearm=*/true);
+  if (!snap.is_ok()) return snap.status();
+  auto written = checkpointer_->checkpoint_incremental(
+      *snap, static_cast<double>(step));
+  if (!written.is_ok()) return written.status();
+  if (written->kind == checkpoint::Kind::kFull) {
+    ICKPT_RETURN_IF_ERROR(checkpointer_->truncate_before_last_full());
+  }
+  last_step_ = step;
+  return Status::ok();
+}
+
+Status RecoverableRun::did_step(int step) {
+  if (!begun_) return failed_precondition("did_step before begin()");
+  if ((step + 1) % options_.checkpoint_every != 0) return Status::ok();
+  return take_checkpoint(step);
+}
+
+Status RecoverableRun::checkpoint_now() {
+  if (!begun_) return failed_precondition("checkpoint_now before begin()");
+  return take_checkpoint(last_step_ < 0 ? 0 : last_step_);
+}
+
+}  // namespace ickpt

@@ -1,0 +1,160 @@
+#include "core/study.h"
+
+#include <algorithm>
+#include <memory>
+#include <mutex>
+
+#include "apps/catalog.h"
+#include "apps/scripted_kernel.h"
+#include "minimpi/comm.h"
+#include "sim/sampler.h"
+#include "sim/virtual_clock.h"
+
+namespace ickpt {
+
+double auto_run_length(double period_s, double timeslice) {
+  double len = std::max(4.0 * period_s, 40.0 * timeslice);
+  return std::min(len, 1200.0);
+}
+
+namespace {
+
+struct RankOutcome {
+  trace::TimeSeries series;
+  trace::WriteTrace write_trace;
+  std::uint64_t iterations = 0;
+  Status status;
+};
+
+/// Body executed by each rank (and by the serial path with comm ==
+/// nullptr).
+RankOutcome run_rank(const StudyConfig& config, double run_vs,
+                     mpi::Comm* comm, int rank, bool tracked) {
+  RankOutcome out;
+  auto tracker = memtrack::make_tracker(config.engine);
+  if (!tracker.is_ok()) {
+    out.status = tracker.status();
+    return out;
+  }
+  sim::VirtualClock clock;
+
+  apps::AppConfig app_config;
+  app_config.footprint_scale = config.footprint_scale;
+  app_config.nprocs = config.nprocs;
+  app_config.comm = comm;
+  app_config.seed = config.seed + static_cast<std::uint64_t>(rank) * 7919;
+
+  auto app = apps::make_app(config.app, app_config, **tracker, clock);
+  if (!app.is_ok()) {
+    out.status = app.status();
+    return out;
+  }
+
+  sim::SamplerOptions sopts;
+  sopts.timeslice = config.timeslice;
+  sopts.phase = config.sample_phase;
+  if (comm != nullptr) {
+    sopts.recv_probe = [comm] { return comm->bytes_received(); };
+    sopts.sent_probe = [comm] { return comm->bytes_sent(); };
+  }
+  out.write_trace = trace::WriteTrace(0, config.timeslice);
+  if (config.capture_trace && rank == 0) {
+    // Record each slice's dirty pages in a concatenated logical page
+    // space (regions in snapshot order).  Replay reproduces the IWS
+    // series; page identity across dynamic remaps is positional.
+    sopts.on_sample = [&out](const trace::Sample& s,
+                             const memtrack::DirtySnapshot& snap) {
+      std::size_t base = 0;
+      for (const auto& region : snap.regions) {
+        std::size_t i = 0;
+        const auto& dirty = region.dirty_pages;
+        while (i < dirty.size()) {
+          std::size_t j = i + 1;
+          while (j < dirty.size() && dirty[j] == dirty[j - 1] + 1) ++j;
+          out.write_trace.record(
+              s.index,
+              static_cast<std::uint32_t>(base + dirty[i]),
+              static_cast<std::uint32_t>(j - i));
+          i = j;
+        }
+        base += region.range.pages();
+      }
+      out.write_trace.set_region_pages(base);
+    };
+  }
+  sim::TimesliceSampler sampler(**tracker, clock, sopts);
+
+  auto run = [&]() -> Status {
+    if (config.include_init) {
+      ICKPT_RETURN_IF_ERROR(sampler.start());
+      ICKPT_RETURN_IF_ERROR((*app)->init());
+    } else {
+      // The paper excludes the initialization write burst (§6.3):
+      // initialize first, then begin sampling.
+      ICKPT_RETURN_IF_ERROR((*app)->init());
+      if (tracked) ICKPT_RETURN_IF_ERROR(sampler.start());
+    }
+    double until = clock.now() + run_vs;
+    return (*app)->run_until(clock, until);
+  };
+  out.status = run();
+  if (tracked && sampler.running()) sampler.stop();
+  out.series = sampler.take_series();
+  out.iterations = (*app)->iterations();
+  return out;
+}
+
+}  // namespace
+
+Result<StudyResult> run_study(const StudyConfig& config) {
+  auto period = apps::app_period(config.app);
+  if (!period.is_ok()) return period.status();
+  if (config.nprocs < 1) return invalid_argument("nprocs must be >= 1");
+  if (config.timeslice <= 0) return invalid_argument("timeslice must be > 0");
+
+  const double run_vs = config.run_vs > 0
+                            ? config.run_vs
+                            : auto_run_length(*period, config.timeslice);
+  const int tracked =
+      config.tracked_ranks < 0 ? config.nprocs
+                               : std::min(config.tracked_ranks, config.nprocs);
+
+  std::vector<RankOutcome> outcomes(
+      static_cast<std::size_t>(config.nprocs));
+
+  if (config.nprocs == 1) {
+    outcomes[0] = run_rank(config, run_vs, nullptr, 0, true);
+  } else {
+    mpi::Runtime::run(config.nprocs, [&](mpi::Comm& comm) {
+      int r = comm.rank();
+      outcomes[static_cast<std::size_t>(r)] =
+          run_rank(config, run_vs, &comm, r, r < tracked);
+    });
+  }
+  for (const auto& o : outcomes) {
+    if (!o.status.is_ok()) return o.status;
+  }
+
+  StudyResult result;
+  result.period_s = *period;
+  result.iterations = outcomes[0].iterations;
+  result.per_rank.reserve(outcomes.size());
+  for (auto& o : outcomes) result.per_rank.push_back(std::move(o.series));
+
+  result.write_trace = std::move(outcomes[0].write_trace);
+  result.ib = analysis::compute_ib_stats(result.per_rank[0]);
+  result.footprint = analysis::compute_footprint_stats(result.per_rank[0]);
+
+  double acc = 0;
+  int n = 0;
+  for (int r = 0; r < tracked; ++r) {
+    const auto& series = result.per_rank[static_cast<std::size_t>(r)];
+    if (series.empty()) continue;
+    acc += analysis::compute_ib_stats(series).avg_ib;
+    ++n;
+  }
+  result.mean_rank_avg_ib = n > 0 ? acc / n : 0;
+  return result;
+}
+
+}  // namespace ickpt

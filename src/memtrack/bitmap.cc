@@ -1,0 +1,53 @@
+#include "memtrack/bitmap.h"
+
+#include <bit>
+
+namespace ickpt::memtrack {
+
+AtomicBitmap::AtomicBitmap(std::size_t bits)
+    : bits_(bits), words_((bits + 63) / 64) {
+  clear();
+}
+
+void AtomicBitmap::clear() noexcept {
+  for (auto& w : words_) w.store(0, std::memory_order_relaxed);
+}
+
+std::size_t AtomicBitmap::count() const noexcept {
+  std::size_t n = 0;
+  for (const auto& w : words_) {
+    n += static_cast<std::size_t>(
+        std::popcount(w.load(std::memory_order_relaxed)));
+  }
+  return n;
+}
+
+void AtomicBitmap::drain_set_bits(std::vector<std::uint32_t>& out,
+                                  std::size_t limit_bits) noexcept {
+  const std::size_t nwords = words_.size();
+  for (std::size_t wi = 0; wi < nwords; ++wi) {
+    std::uint64_t w = words_[wi].exchange(0, std::memory_order_relaxed);
+    while (w != 0) {
+      unsigned bit = static_cast<unsigned>(std::countr_zero(w));
+      std::size_t idx = wi * 64 + bit;
+      if (idx < limit_bits) out.push_back(static_cast<std::uint32_t>(idx));
+      w &= w - 1;
+    }
+  }
+}
+
+void AtomicBitmap::copy_set_bits(std::vector<std::uint32_t>& out,
+                                 std::size_t limit_bits) const noexcept {
+  const std::size_t nwords = words_.size();
+  for (std::size_t wi = 0; wi < nwords; ++wi) {
+    std::uint64_t w = words_[wi].load(std::memory_order_relaxed);
+    while (w != 0) {
+      unsigned bit = static_cast<unsigned>(std::countr_zero(w));
+      std::size_t idx = wi * 64 + bit;
+      if (idx < limit_bits) out.push_back(static_cast<std::uint32_t>(idx));
+      w &= w - 1;
+    }
+  }
+}
+
+}  // namespace ickpt::memtrack

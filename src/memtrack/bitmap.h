@@ -1,0 +1,58 @@
+// Atomic page bitmap used by the dirty-page tracking engines.
+//
+// set() is called from the SIGSEGV handler, so it must be async-signal
+// safe: lock-free atomic fetch_or only, no allocation, no locks.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace ickpt::memtrack {
+
+class AtomicBitmap {
+ public:
+  AtomicBitmap() = default;
+  explicit AtomicBitmap(std::size_t bits);
+
+  // Non-copyable, non-movable once published to the signal handler.
+  AtomicBitmap(const AtomicBitmap&) = delete;
+  AtomicBitmap& operator=(const AtomicBitmap&) = delete;
+
+  std::size_t size_bits() const noexcept { return bits_; }
+
+  /// Async-signal-safe. Returns true if the bit was newly set.
+  bool set(std::size_t idx) noexcept {
+    const std::uint64_t mask = 1ull << (idx & 63);
+    std::uint64_t prev =
+        words_[idx >> 6].fetch_or(mask, std::memory_order_relaxed);
+    return (prev & mask) == 0;
+  }
+
+  bool test(std::size_t idx) const noexcept {
+    return (words_[idx >> 6].load(std::memory_order_relaxed) >>
+            (idx & 63)) & 1u;
+  }
+
+  /// Clear all bits (not atomic as a whole; callers serialize vs. collect).
+  void clear() noexcept;
+
+  /// Number of set bits.
+  std::size_t count() const noexcept;
+
+  /// Append indices of set bits (over the first `limit_bits` bits) to
+  /// `out`, atomically swapping each word to zero as it is consumed.
+  void drain_set_bits(std::vector<std::uint32_t>& out,
+                      std::size_t limit_bits) noexcept;
+
+  /// Append indices of set bits without clearing.
+  void copy_set_bits(std::vector<std::uint32_t>& out,
+                     std::size_t limit_bits) const noexcept;
+
+ private:
+  std::size_t bits_ = 0;
+  std::vector<std::atomic<std::uint64_t>> words_;
+};
+
+}  // namespace ickpt::memtrack

@@ -1,0 +1,51 @@
+// DirtyTracker implementation driven by explicit write notifications.
+//
+// No virtual-memory tricks: the application (or a trace replayer)
+// calls note_write() for every store range.  Deterministic and exact,
+// which makes it the reference oracle in the engine-equivalence
+// property tests and the engine of choice for analysis-only runs.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+
+#include "memtrack/bitmap.h"
+#include "memtrack/tracker.h"
+
+namespace ickpt::memtrack {
+
+class ExplicitEngine final : public DirtyTracker {
+ public:
+  ExplicitEngine() = default;
+
+  EngineKind kind() const noexcept override { return EngineKind::kExplicit; }
+
+  Result<RegionId> attach(std::span<std::byte> mem, std::string name) override;
+  Status detach(RegionId id) override;
+  Status arm() override;
+  Result<DirtySnapshot> collect(bool rearm) override;
+  void note_write(const void* addr, std::size_t len) override;
+  EngineCounters counters() const override;
+  std::size_t region_count() const override;
+  std::size_t tracked_bytes() const override;
+
+ private:
+  struct Region {
+    RegionId id;
+    std::string name;
+    PageRange range;
+    std::unique_ptr<AtomicBitmap> bitmap;
+  };
+
+  mutable std::mutex mu_;
+  std::map<RegionId, Region> regions_;
+  RegionId next_id_ = 1;
+  bool armed_ = false;
+  std::uint64_t arms_ = 0;
+  std::uint64_t collects_ = 0;
+  std::uint64_t notes_ = 0;
+};
+
+}  // namespace ickpt::memtrack

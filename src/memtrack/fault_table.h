@@ -1,0 +1,80 @@
+// Process-wide table mapping faulting addresses to tracked regions.
+//
+// SIGSEGV is a process-global resource, so all MProtectEngine instances
+// publish their regions here.  The signal handler walks the table with
+// only async-signal-safe operations: relaxed atomic loads, an atomic
+// fetch_or into the region's dirty bitmap, and an mprotect(2) syscall
+// to unprotect the faulted page (the same technique as the paper's
+// instrumentation library and libckpt).
+//
+// Concurrency contract: publish/unpublish/set_armed are serialized by
+// an internal mutex.  The handler reads slots lock-free behind a
+// per-slot sequence guard.  Callers must guarantee no in-flight writes
+// to a region while it is being unpublished (i.e. a rank detaches only
+// its own quiescent regions).
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+
+#include "memtrack/bitmap.h"
+
+namespace ickpt::memtrack::detail {
+
+class FaultTable {
+ public:
+  static constexpr int kMaxSlots = 8192;
+  static constexpr int kNoSlot = -1;
+
+  static FaultTable& instance();
+
+  /// Install the SIGSEGV handler (idempotent, thread-safe).
+  void ensure_handler_installed();
+
+  /// Publish a region.  `batch_pages` >= 1: on fault, that many
+  /// consecutive pages are unprotected and conservatively marked dirty
+  /// (fault-batching ablation; 1 == the paper's exact page granularity).
+  /// Returns slot index or kNoSlot if the table is full.
+  int publish(std::uintptr_t begin, std::uintptr_t end, AtomicBitmap* bitmap,
+              std::atomic<std::uint64_t>* fault_counter,
+              std::uint32_t batch_pages);
+
+  void unpublish(int slot);
+
+  void set_armed(int slot, bool armed);
+
+  /// Update the extent of a published region (not used by the engines
+  /// today; regions are republished on resize).
+  void update_range(int slot, std::uintptr_t begin, std::uintptr_t end);
+
+  /// Called from the signal handler.  Returns true if the fault was a
+  /// write to an armed tracked page and has been absorbed.
+  bool handle_fault(std::uintptr_t addr) noexcept;
+
+  /// Number of currently-published slots (for tests).
+  int published_count() const noexcept {
+    return published_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  FaultTable() = default;
+
+  struct Slot {
+    std::atomic<std::uint32_t> seq{0};  ///< odd while being mutated
+    std::atomic<std::uintptr_t> begin{0};
+    std::atomic<std::uintptr_t> end{0};
+    std::atomic<bool> armed{false};
+    std::atomic<AtomicBitmap*> bitmap{nullptr};
+    std::atomic<std::atomic<std::uint64_t>*> fault_counter{nullptr};
+    std::atomic<std::uint32_t> batch_pages{1};
+    std::atomic<bool> in_use{false};
+  };
+
+  Slot slots_[kMaxSlots];
+  std::atomic<int> high_water_{0};
+  std::atomic<int> published_{0};
+  std::mutex write_mu_;
+};
+
+}  // namespace ickpt::memtrack::detail

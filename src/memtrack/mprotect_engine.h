@@ -1,0 +1,63 @@
+// DirtyTracker implementation using mprotect + SIGSEGV write faults —
+// the exact mechanism of the paper's instrumentation library:
+//
+//   "The protection of each page of memory is set to read-only.  When
+//    the processor attempts to write to a protected page, the operating
+//    system sends the process a SEGV signal. ... The page is then
+//    unprotected so that future writes to it in that timeslice do not
+//    cause segmentation faults." (Section 4.2)
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+
+#include "memtrack/bitmap.h"
+#include "memtrack/tracker.h"
+
+namespace ickpt::memtrack {
+
+class MProtectEngine final : public DirtyTracker {
+ public:
+  struct Options {
+    /// Pages unprotected (and conservatively marked dirty) per fault.
+    /// 1 reproduces the paper; larger values trade IWS over-approximation
+    /// for fewer faults (ablation X1/X4).
+    std::uint32_t fault_batch_pages = 1;
+  };
+
+  MProtectEngine() : MProtectEngine(Options{}) {}
+  explicit MProtectEngine(Options options);
+  ~MProtectEngine() override;
+
+  MProtectEngine(const MProtectEngine&) = delete;
+  MProtectEngine& operator=(const MProtectEngine&) = delete;
+
+  EngineKind kind() const noexcept override { return EngineKind::kMProtect; }
+
+  Result<RegionId> attach(std::span<std::byte> mem, std::string name) override;
+  Status detach(RegionId id) override;
+  Status arm() override;
+  Result<DirtySnapshot> collect(bool rearm) override;
+  EngineCounters counters() const override;
+  std::size_t region_count() const override;
+  std::size_t tracked_bytes() const override;
+
+ private:
+  struct Region;
+
+  Status protect_region(Region& r, bool readonly);
+
+  Options options_;
+  mutable std::mutex mu_;
+  std::map<RegionId, std::unique_ptr<Region>> regions_;
+  RegionId next_id_ = 1;
+  bool armed_ = false;
+  std::atomic<std::uint64_t> faults_{0};
+  std::uint64_t arms_ = 0;
+  std::uint64_t collects_ = 0;
+};
+
+}  // namespace ickpt::memtrack

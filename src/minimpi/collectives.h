@@ -1,0 +1,47 @@
+// Higher-level collectives built on Comm's point-to-point layer:
+// gather, scatter, allgather, alltoall, and vector reductions — the
+// operations the paper's applications use for transposes (FT),
+// pipelined wavefronts (Sweep3D) and convergence checks (Sage).
+//
+// All operations are collective: every rank of the world must call
+// them with compatible arguments.  Internal tags live in a reserved
+// negative tag space and cannot collide with application tags (>= 0).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "common/status.h"
+#include "minimpi/comm.h"
+
+namespace ickpt::mpi {
+
+/// Root collects `chunk` bytes from every rank (in rank order).
+/// On the root, `out` must hold size() * chunk bytes; elsewhere it is
+/// ignored.
+Status gather(Comm& comm, int root, std::span<const std::byte> chunk,
+              std::span<std::byte> out);
+
+/// Root distributes consecutive `chunk`-byte pieces of `data` to each
+/// rank; every rank receives its piece in `out` (chunk bytes).
+Status scatter(Comm& comm, int root, std::span<const std::byte> data,
+               std::span<std::byte> out);
+
+/// Every rank contributes `chunk` bytes and receives all ranks'
+/// contributions (size() * chunk bytes, rank order).
+Status allgather(Comm& comm, std::span<const std::byte> chunk,
+                 std::span<std::byte> out);
+
+/// Personalized all-to-all: `send` holds size() pieces of `chunk`
+/// bytes (piece i goes to rank i); `out` receives size() pieces
+/// (piece i came from rank i).  The communication pattern of FT's
+/// distributed transpose.
+Status alltoall(Comm& comm, std::span<const std::byte> send,
+                std::span<std::byte> out, std::size_t chunk);
+
+/// Element-wise sum of a double vector across ranks (every rank gets
+/// the result).  Used for residual/energy reductions.
+Status allreduce_sum_vec(Comm& comm, std::span<double> values);
+
+}  // namespace ickpt::mpi

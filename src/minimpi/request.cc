@@ -1,0 +1,55 @@
+#include "minimpi/request.h"
+
+#include <chrono>
+
+namespace ickpt::mpi {
+
+Result<RecvInfo> RecvRequest::wait() {
+  if (!done_) {
+    if (!future_.valid()) {
+      return failed_precondition("wait() on an empty request");
+    }
+    result_ = future_.get();
+    done_ = true;
+  }
+  return result_;
+}
+
+bool RecvRequest::test() {
+  if (done_) return true;
+  if (!future_.valid()) return false;
+  if (future_.wait_for(std::chrono::seconds(0)) ==
+      std::future_status::ready) {
+    result_ = future_.get();
+    done_ = true;
+    return true;
+  }
+  return false;
+}
+
+RecvRequest irecv(Comm& comm, int src, int tag, std::span<std::byte> out) {
+  RecvRequest req;
+  // The matcher thread performs the blocking recv; Comm's mailbox
+  // operations are thread-safe, and the matching rules are identical
+  // to a blocking recv posted at the same time.
+  req.future_ = std::async(std::launch::async,
+                           [&comm, src, tag, out]() -> Result<RecvInfo> {
+                             return comm.recv(src, tag, out);
+                           });
+  return req;
+}
+
+void isend(Comm& comm, int dst, int tag, std::span<const std::byte> data) {
+  comm.send(dst, tag, data);  // buffered: already nonblocking
+}
+
+Status wait_all(std::span<RecvRequest> requests) {
+  Status first;
+  for (RecvRequest& r : requests) {
+    auto info = r.wait();
+    if (!info.is_ok() && first.is_ok()) first = info.status();
+  }
+  return first;
+}
+
+}  // namespace ickpt::mpi

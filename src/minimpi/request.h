@@ -1,0 +1,56 @@
+// Nonblocking point-to-point operations (MPI_Isend/Irecv style).
+//
+// isend is trivially asynchronous over minimpi's buffered channels; a
+// RecvRequest parks a background matcher so computation can overlap
+// the wait — which is how the paper's codes hide wavefront and halo
+// latency inside the processing bursts.
+#pragma once
+
+#include <future>
+#include <memory>
+
+#include "minimpi/comm.h"
+
+namespace ickpt::mpi {
+
+/// Handle for a pending receive.  wait() blocks until the matching
+/// message arrives and is copied into the buffer supplied at post
+/// time; test() polls.  The buffer must stay alive until wait()/test()
+/// returns true, and every request must be completed before its
+/// communicator's world ends.  If the world aborts while the receive
+/// is pending, wait() rethrows the abort.  Not copyable.
+class RecvRequest {
+ public:
+  RecvRequest() = default;
+  RecvRequest(RecvRequest&&) = default;
+  RecvRequest& operator=(RecvRequest&&) = default;
+
+  /// Blocks until completion; returns the receive metadata.
+  Result<RecvInfo> wait();
+
+  /// True once the message has arrived (wait() then returns
+  /// immediately).
+  bool test();
+
+  bool valid() const noexcept { return future_.valid() || done_; }
+
+ private:
+  friend RecvRequest irecv(Comm& comm, int src, int tag,
+                           std::span<std::byte> out);
+  std::future<Result<RecvInfo>> future_;
+  bool done_ = false;
+  Result<RecvInfo> result_ = Status();  // populated once done
+};
+
+/// Post a nonblocking receive into `out`.
+RecvRequest irecv(Comm& comm, int src, int tag, std::span<std::byte> out);
+
+/// Nonblocking send.  minimpi sends are buffered (they never block on
+/// the receiver), so isend completes immediately; provided for
+/// API parity with the blocking call sites it replaces.
+void isend(Comm& comm, int dst, int tag, std::span<const std::byte> data);
+
+/// Wait for a set of receive requests; returns the first error.
+Status wait_all(std::span<RecvRequest> requests);
+
+}  // namespace ickpt::mpi

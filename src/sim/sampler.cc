@@ -1,0 +1,142 @@
+#include "sim/sampler.h"
+
+#include <chrono>
+
+namespace ickpt::sim {
+
+// ----------------------------------------------------------------- virtual
+
+TimesliceSampler::TimesliceSampler(memtrack::DirtyTracker& tracker,
+                                   VirtualClock& clock,
+                                   SamplerOptions options)
+    : tracker_(tracker), clock_(clock), options_(std::move(options)) {}
+
+TimesliceSampler::~TimesliceSampler() { stop(); }
+
+Status TimesliceSampler::start() {
+  if (running()) return failed_precondition("sampler already started");
+  ICKPT_RETURN_IF_ERROR(tracker_.arm());
+  slice_start_ = clock_.now();
+  slice_index_ = 0;
+  last_recv_ = options_.recv_probe ? options_.recv_probe() : 0;
+  last_sent_ = options_.sent_probe ? options_.sent_probe() : 0;
+  sub_id_ = clock_.subscribe_periodic(
+      options_.timeslice, [this](double t) { on_boundary(t); },
+      options_.phase);
+  return Status::ok();
+}
+
+void TimesliceSampler::stop() {
+  if (!running()) return;
+  clock_.unsubscribe(sub_id_);
+  sub_id_ = -1;
+  // Leave tracked memory writable.
+  (void)tracker_.collect(/*rearm=*/false);
+}
+
+void TimesliceSampler::on_boundary(double t) {
+  auto snap = tracker_.collect(/*rearm=*/true);
+  if (!snap.is_ok()) return;  // engine failure: drop the slice
+
+  trace::Sample s;
+  s.index = slice_index_++;
+  s.t_start = slice_start_;
+  s.t_end = t;
+  s.iws_pages = snap->dirty_pages();
+  s.iws_bytes = snap->dirty_bytes();
+  s.footprint_bytes = tracker_.tracked_bytes();
+  if (options_.recv_probe) {
+    std::uint64_t now_recv = options_.recv_probe();
+    s.recv_bytes = now_recv - last_recv_;
+    last_recv_ = now_recv;
+  }
+  if (options_.sent_probe) {
+    std::uint64_t now_sent = options_.sent_probe();
+    s.sent_bytes = now_sent - last_sent_;
+    last_sent_ = now_sent;
+  }
+  slice_start_ = t;
+  if (options_.on_sample) options_.on_sample(s, *snap);
+  series_.add(s);
+}
+
+// -------------------------------------------------------------- wall-clock
+
+WallClockSampler::WallClockSampler(memtrack::DirtyTracker& tracker,
+                                   SamplerOptions options)
+    : tracker_(tracker), options_(std::move(options)) {}
+
+WallClockSampler::~WallClockSampler() { stop(); }
+
+Status WallClockSampler::start() {
+  if (running_) return failed_precondition("sampler already started");
+  ICKPT_RETURN_IF_ERROR(tracker_.arm());
+  last_recv_ = options_.recv_probe ? options_.recv_probe() : 0;
+  last_sent_ = options_.sent_probe ? options_.sent_probe() : 0;
+  stop_.store(false);
+  running_ = true;
+  thread_ = std::thread([this] { run(); });
+  return Status::ok();
+}
+
+void WallClockSampler::stop() {
+  if (!running_) return;
+  stop_.store(true);
+  thread_.join();
+  running_ = false;
+  (void)tracker_.collect(/*rearm=*/false);
+}
+
+trace::TimeSeries WallClockSampler::series() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return series_;
+}
+
+void WallClockSampler::run() {
+  using clock = std::chrono::steady_clock;
+  const auto t0 = clock::now();
+  const auto slice =
+      std::chrono::duration<double>(options_.timeslice);
+  std::uint64_t index = 0;
+  auto next = t0 + std::chrono::duration_cast<clock::duration>(slice);
+  double prev_elapsed = 0.0;
+
+  while (!stop_.load(std::memory_order_relaxed)) {
+    // Sleep in short hops so stop() stays responsive.
+    while (clock::now() < next) {
+      if (stop_.load(std::memory_order_relaxed)) return;
+      auto remaining = next - clock::now();
+      auto hop = std::min<clock::duration>(
+          remaining, std::chrono::milliseconds(5));
+      if (hop > clock::duration::zero()) std::this_thread::sleep_for(hop);
+    }
+    auto snap = tracker_.collect(/*rearm=*/true);
+    double elapsed = std::chrono::duration<double>(clock::now() - t0).count();
+    if (snap.is_ok()) {
+      trace::Sample s;
+      s.index = index++;
+      s.t_start = prev_elapsed;
+      s.t_end = elapsed;
+      s.iws_pages = snap->dirty_pages();
+      s.iws_bytes = snap->dirty_bytes();
+      s.footprint_bytes = tracker_.tracked_bytes();
+      if (options_.recv_probe) {
+        std::uint64_t now_recv = options_.recv_probe();
+        s.recv_bytes = now_recv - last_recv_;
+        last_recv_ = now_recv;
+      }
+      if (options_.sent_probe) {
+        std::uint64_t now_sent = options_.sent_probe();
+        s.sent_bytes = now_sent - last_sent_;
+        last_sent_ = now_sent;
+      }
+      if (options_.on_sample) options_.on_sample(s, *snap);
+      std::lock_guard<std::mutex> lock(mu_);
+      series_.add(s);
+    }
+    prev_elapsed = elapsed;
+    next += std::chrono::duration_cast<clock::duration>(slice);
+  }
+}
+
+}  // namespace ickpt::sim

@@ -1,0 +1,109 @@
+// Timeslice samplers: drive a DirtyTracker at checkpoint-timeslice
+// boundaries and record one trace::Sample per slice.
+//
+// TimesliceSampler fires on VirtualClock boundaries (deterministic,
+// used by the calibrated experiments).  WallClockSampler runs a real
+// timer thread, reproducing the paper's SIGALRM-driven measurement
+// loop, and is used by the intrusiveness benchmark (§6.5).
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <thread>
+
+#include "common/status.h"
+#include "memtrack/tracker.h"
+#include "sim/virtual_clock.h"
+#include "trace/time_series.h"
+
+namespace ickpt::sim {
+
+struct SamplerOptions {
+  double timeslice = 1.0;  ///< seconds (virtual or wall)
+
+  /// Offset of the first boundary relative to start()+timeslice
+  /// (virtual sampler only).  Lets experiments align checkpoints with
+  /// iteration boundaries or deliberately place them mid-burst
+  /// (placement ablation X3; paper §6.2 argues boundary placement).
+  double phase = 0.0;
+
+  /// Optional cumulative byte counters (e.g. Comm::bytes_received);
+  /// the sampler differences them per slice.
+  std::function<std::uint64_t()> recv_probe;
+  std::function<std::uint64_t()> sent_probe;
+
+  /// Optional per-sample hook, e.g. an incremental checkpointer that
+  /// wants the dirty snapshot for every slice.
+  std::function<void(const trace::Sample&, const memtrack::DirtySnapshot&)>
+      on_sample;
+};
+
+/// Virtual-time sampler.  Not thread-safe: the owning rank drives it
+/// through its clock.
+class TimesliceSampler {
+ public:
+  TimesliceSampler(memtrack::DirtyTracker& tracker, VirtualClock& clock,
+                   SamplerOptions options);
+  ~TimesliceSampler();
+
+  TimesliceSampler(const TimesliceSampler&) = delete;
+  TimesliceSampler& operator=(const TimesliceSampler&) = delete;
+
+  /// Arm the tracker and subscribe to the clock.
+  Status start();
+
+  /// Unsubscribe; the tracker is collected one final time if a partial
+  /// slice is pending (discarded — the paper reports whole slices only).
+  void stop();
+
+  const trace::TimeSeries& series() const noexcept { return series_; }
+  trace::TimeSeries take_series() { return std::move(series_); }
+  bool running() const noexcept { return sub_id_ >= 0; }
+
+ private:
+  void on_boundary(double t);
+
+  memtrack::DirtyTracker& tracker_;
+  VirtualClock& clock_;
+  SamplerOptions options_;
+  trace::TimeSeries series_;
+  int sub_id_ = -1;
+  double slice_start_ = 0.0;
+  std::uint64_t slice_index_ = 0;
+  std::uint64_t last_recv_ = 0;
+  std::uint64_t last_sent_ = 0;
+};
+
+/// Wall-clock sampler: a timer thread that samples the tracker every
+/// `timeslice` real seconds — the paper's alarm-driven design.
+class WallClockSampler {
+ public:
+  WallClockSampler(memtrack::DirtyTracker& tracker, SamplerOptions options);
+  ~WallClockSampler();
+
+  WallClockSampler(const WallClockSampler&) = delete;
+  WallClockSampler& operator=(const WallClockSampler&) = delete;
+
+  Status start();
+  void stop();
+
+  /// Snapshot of the samples recorded so far (copy; thread-safe).
+  trace::TimeSeries series() const;
+
+ private:
+  void run();
+
+  memtrack::DirtyTracker& tracker_;
+  SamplerOptions options_;
+  mutable std::mutex mu_;
+  trace::TimeSeries series_;
+  std::thread thread_;
+  std::atomic<bool> stop_{false};
+  bool running_ = false;
+  std::uint64_t last_recv_ = 0;
+  std::uint64_t last_sent_ = 0;
+};
+
+}  // namespace ickpt::sim

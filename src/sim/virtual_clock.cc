@@ -1,0 +1,51 @@
+#include "sim/virtual_clock.h"
+
+#include <cassert>
+#include <limits>
+#include <stdexcept>
+
+namespace ickpt::sim {
+
+void VirtualClock::advance(double dt) {
+  if (dt < 0) throw std::invalid_argument("VirtualClock::advance: dt < 0");
+  if (advancing_) {
+    throw std::logic_error("VirtualClock::advance: reentrant call");
+  }
+  advancing_ = true;
+  const double target = now_ + dt;
+
+  for (;;) {
+    // Find the earliest pending boundary at or before `target`.
+    int best_id = -1;
+    double best_time = std::numeric_limits<double>::infinity();
+    for (auto& [id, sub] : subs_) {
+      if (sub.next_fire <= target && sub.next_fire < best_time) {
+        best_time = sub.next_fire;
+        best_id = id;
+      }
+    }
+    if (best_id < 0) break;
+    auto it = subs_.find(best_id);
+    now_ = best_time;
+    it->second.next_fire += it->second.period;
+    Callback cb = it->second.cb;  // copy: the callback may unsubscribe
+    cb(now_);                     // anything, including itself
+  }
+  now_ = target;
+  advancing_ = false;
+}
+
+int VirtualClock::subscribe_periodic(double period, Callback cb,
+                                     double phase) {
+  if (period <= 0) {
+    throw std::invalid_argument("subscribe_periodic: period <= 0");
+  }
+  int id = next_id_++;
+  subs_.emplace(id, Subscription{period, now_ + period + phase,
+                                 std::move(cb)});
+  return id;
+}
+
+void VirtualClock::unsubscribe(int id) { subs_.erase(id); }
+
+}  // namespace ickpt::sim

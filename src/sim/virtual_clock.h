@@ -1,0 +1,57 @@
+// VirtualClock: simulated time for the proxy kernels.
+//
+// The paper measures wall-clock timeslices of 1–20 s over runs of
+// hundreds of seconds.  Re-running that in real time for every sweep
+// point is infeasible, and unnecessary: the IWS/IB metrics depend on
+// the *ratio* between the timeslice and the application's phase
+// structure, not on wall time.  The proxy kernels therefore advance a
+// virtual clock as they execute their phases; periodic subscribers
+// (the timeslice sampler, checkpoint schedulers) fire deterministically
+// at every boundary the advance crosses.
+//
+// Single-threaded by design: each rank owns its own clock.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <vector>
+
+namespace ickpt::sim {
+
+class VirtualClock {
+ public:
+  /// Called with the clock set to the boundary time.
+  using Callback = std::function<void(double t)>;
+
+  double now() const noexcept { return now_; }
+
+  /// Advance by dt (>= 0), firing every periodic callback whose next
+  /// boundary lies in (now, now+dt].  Callbacks fire in time order;
+  /// ties fire in subscription order.  Callbacks must not call
+  /// advance() reentrantly (checked).
+  void advance(double dt);
+
+  /// Subscribe a callback that fires every `period` seconds, first at
+  /// now() + period + phase.  Returns a subscription id.
+  int subscribe_periodic(double period, Callback cb, double phase = 0.0);
+
+  /// Remove a subscription (no-op for unknown ids).
+  void unsubscribe(int id);
+
+  std::size_t subscriber_count() const noexcept { return subs_.size(); }
+
+ private:
+  struct Subscription {
+    double period;
+    double next_fire;
+    Callback cb;
+  };
+
+  double now_ = 0.0;
+  bool advancing_ = false;
+  int next_id_ = 1;
+  std::map<int, Subscription> subs_;
+};
+
+}  // namespace ickpt::sim

@@ -1,0 +1,82 @@
+#include "storage/async_backend.h"
+
+namespace ickpt::storage {
+
+namespace {
+
+class BufferingWriter final : public Writer {
+ public:
+  BufferingWriter(AsyncWriter& writer, std::string key)
+      : writer_(writer), key_(std::move(key)) {}
+
+  Status write(std::span<const std::byte> data) override {
+    if (closed_) return failed_precondition("write after close");
+    buf_.insert(buf_.end(), data.begin(), data.end());
+    return Status::ok();
+  }
+
+  Status close() override {
+    if (closed_) return Status::ok();
+    closed_ = true;
+    bytes_ = buf_.size();
+    return writer_.submit(std::move(key_), std::move(buf_));
+  }
+
+  std::uint64_t bytes_written() const noexcept override {
+    return closed_ ? bytes_ : buf_.size();
+  }
+
+ private:
+  AsyncWriter& writer_;
+  std::string key_;
+  std::vector<std::byte> buf_;
+  std::uint64_t bytes_ = 0;
+  bool closed_ = false;
+};
+
+class AsyncBackend final : public StorageBackend {
+ public:
+  AsyncBackend(AsyncWriter& writer, StorageBackend& underlying)
+      : writer_(writer), underlying_(underlying) {}
+
+  Result<std::unique_ptr<Writer>> create(const std::string& key) override {
+    return std::unique_ptr<Writer>(new BufferingWriter(writer_, key));
+  }
+
+  Result<std::unique_ptr<Reader>> open(const std::string& key) override {
+    ICKPT_RETURN_IF_ERROR(writer_.flush());
+    return underlying_.open(key);
+  }
+
+  Status remove(const std::string& key) override {
+    ICKPT_RETURN_IF_ERROR(writer_.flush());
+    return underlying_.remove(key);
+  }
+
+  Result<std::vector<std::string>> list() override {
+    ICKPT_RETURN_IF_ERROR(writer_.flush());
+    return underlying_.list();
+  }
+
+  bool exists(const std::string& key) override {
+    if (!writer_.flush().is_ok()) return false;
+    return underlying_.exists(key);
+  }
+
+  std::uint64_t total_bytes_stored() const noexcept override {
+    return underlying_.total_bytes_stored();
+  }
+
+ private:
+  AsyncWriter& writer_;
+  StorageBackend& underlying_;
+};
+
+}  // namespace
+
+std::unique_ptr<StorageBackend> make_async_backend(
+    AsyncWriter& writer, StorageBackend& underlying) {
+  return std::make_unique<AsyncBackend>(writer, underlying);
+}
+
+}  // namespace ickpt::storage

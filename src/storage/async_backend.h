@@ -1,0 +1,25 @@
+// Adapter: expose an AsyncWriter as a StorageBackend.
+//
+// Writers buffer the whole object in memory and submit it to the
+// AsyncWriter's worker on close(), so a Checkpointer writing through
+// this backend overlaps checkpoint I/O with the application's next
+// burst — the double-buffering a production deployment needs to hide
+// the 320 MB/s disk behind the computation.
+//
+// Reads, listing and removal pass through to the AsyncWriter's
+// underlying backend *after* a flush, so restore always sees a
+// consistent store.
+#pragma once
+
+#include <memory>
+
+#include "storage/async_writer.h"
+#include "storage/backend.h"
+
+namespace ickpt::storage {
+
+/// `writer` and its underlying backend must outlive the adapter.
+std::unique_ptr<StorageBackend> make_async_backend(
+    AsyncWriter& writer, StorageBackend& underlying);
+
+}  // namespace ickpt::storage

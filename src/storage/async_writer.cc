@@ -1,0 +1,93 @@
+#include "storage/async_writer.h"
+
+namespace ickpt::storage {
+
+AsyncWriter::AsyncWriter(StorageBackend& backend, Options options)
+    : backend_(backend), options_(options) {
+  worker_ = std::thread([this] { run(); });
+}
+
+AsyncWriter::~AsyncWriter() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stopping_ = true;
+  }
+  cv_consumer_.notify_all();
+  worker_.join();
+}
+
+Status AsyncWriter::submit(std::string key, std::vector<std::byte> data) {
+  std::unique_lock<std::mutex> lock(mu_);
+  cv_producer_.wait(lock, [&] {
+    return stopping_ || !first_error_.is_ok() ||
+           queued_bytes_ + data.size() <= options_.max_queued_bytes ||
+           queue_.empty();  // a single oversized object is admitted
+  });
+  if (stopping_) return failed_precondition("writer is shutting down");
+  if (!first_error_.is_ok()) return first_error_;
+  queued_bytes_ += data.size();
+  queue_.push_back(Item{std::move(key), std::move(data)});
+  idle_ = false;
+  cv_consumer_.notify_one();
+  return Status::ok();
+}
+
+Status AsyncWriter::flush() {
+  std::unique_lock<std::mutex> lock(mu_);
+  cv_producer_.wait(lock, [&] {
+    return (queue_.empty() && idle_) || !first_error_.is_ok();
+  });
+  return first_error_;
+}
+
+std::uint64_t AsyncWriter::objects_written() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return objects_written_;
+}
+
+std::uint64_t AsyncWriter::bytes_written() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return bytes_written_;
+}
+
+std::size_t AsyncWriter::queued_bytes() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return queued_bytes_;
+}
+
+void AsyncWriter::run() {
+  std::unique_lock<std::mutex> lock(mu_);
+  for (;;) {
+    cv_consumer_.wait(lock, [&] { return stopping_ || !queue_.empty(); });
+    if (queue_.empty()) {
+      if (stopping_) return;
+      continue;
+    }
+    Item item = std::move(queue_.front());
+    queue_.pop_front();
+    idle_ = false;
+    lock.unlock();
+
+    Status st;
+    auto writer = backend_.create(item.key);
+    if (!writer.is_ok()) {
+      st = writer.status();
+    } else {
+      st = (*writer)->write(item.data);
+      if (st.is_ok()) st = (*writer)->close();
+    }
+
+    lock.lock();
+    queued_bytes_ -= item.data.size();
+    if (st.is_ok()) {
+      ++objects_written_;
+      bytes_written_ += item.data.size();
+    } else if (first_error_.is_ok()) {
+      first_error_ = st;
+    }
+    idle_ = queue_.empty();
+    cv_producer_.notify_all();
+  }
+}
+
+}  // namespace ickpt::storage

@@ -1,0 +1,77 @@
+// AsyncWriter: double-buffered background persistence.
+//
+// The paper's feasibility argument compares IB against *device*
+// bandwidth; hiding the device latency from the application requires
+// overlapping checkpoint writes with computation.  AsyncWriter queues
+// complete checkpoint objects and streams them to the backend from a
+// worker thread, with a bounded buffer so memory stays predictable.
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/status.h"
+#include "storage/backend.h"
+
+namespace ickpt::storage {
+
+class AsyncWriter {
+ public:
+  struct Options {
+    /// Max bytes queued before submit() blocks (back-pressure).
+    std::size_t max_queued_bytes = 256 * 1024 * 1024;
+  };
+
+  /// The backend must outlive the writer.
+  explicit AsyncWriter(StorageBackend& backend)
+      : AsyncWriter(backend, default_options()) {}
+  AsyncWriter(StorageBackend& backend, Options options);
+
+  static Options default_options() { return Options{}; }
+  ~AsyncWriter();
+
+  AsyncWriter(const AsyncWriter&) = delete;
+  AsyncWriter& operator=(const AsyncWriter&) = delete;
+
+  /// Queue one complete object.  Blocks while the queue is full;
+  /// returns immediately otherwise.  Fails if the writer has already
+  /// recorded a backend error (fail-stop: no silent data loss).
+  Status submit(std::string key, std::vector<std::byte> data);
+
+  /// Block until everything queued so far is durably in the backend.
+  /// Returns the first backend error encountered, if any.
+  Status flush();
+
+  std::uint64_t objects_written() const;
+  std::uint64_t bytes_written() const;
+  std::size_t queued_bytes() const;
+
+ private:
+  struct Item {
+    std::string key;
+    std::vector<std::byte> data;
+  };
+
+  void run();
+
+  StorageBackend& backend_;
+  Options options_;
+  mutable std::mutex mu_;
+  std::condition_variable cv_producer_;
+  std::condition_variable cv_consumer_;
+  std::deque<Item> queue_;
+  std::size_t queued_bytes_ = 0;
+  std::uint64_t objects_written_ = 0;
+  std::uint64_t bytes_written_ = 0;
+  Status first_error_;
+  bool stopping_ = false;
+  bool idle_ = true;
+  std::thread worker_;
+};
+
+}  // namespace ickpt::storage

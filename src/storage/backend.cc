@@ -1,0 +1,434 @@
+#include "storage/backend.h"
+
+#include <algorithm>
+#include <atomic>
+#include <cerrno>
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <map>
+#include <mutex>
+#include <thread>
+
+namespace ickpt::storage {
+
+namespace fs = std::filesystem;
+
+// ------------------------------------------------------------------- file
+
+namespace {
+
+class FileWriter final : public Writer {
+ public:
+  FileWriter(fs::path tmp, fs::path final_path,
+             std::atomic<std::uint64_t>* total)
+      : tmp_(std::move(tmp)), final_(std::move(final_path)), total_(total) {
+    os_.open(tmp_, std::ios::binary | std::ios::trunc);
+  }
+  ~FileWriter() override {
+    if (!closed_) {
+      os_.close();
+      std::error_code ec;
+      fs::remove(tmp_, ec);  // abort: discard partial object
+    }
+  }
+  Status write(std::span<const std::byte> data) override {
+    if (closed_) return failed_precondition("write after close");
+    os_.write(reinterpret_cast<const char*>(data.data()),
+              static_cast<std::streamsize>(data.size()));
+    if (!os_) return io_error("file write failed: " + tmp_.string());
+    bytes_ += data.size();
+    return Status::ok();
+  }
+  Status close() override {
+    if (closed_) return Status::ok();
+    os_.flush();
+    if (!os_) return io_error("flush failed: " + tmp_.string());
+    os_.close();
+    std::error_code ec;
+    fs::rename(tmp_, final_, ec);
+    if (ec) return io_error("rename failed: " + ec.message());
+    closed_ = true;
+    total_->fetch_add(bytes_, std::memory_order_relaxed);
+    return Status::ok();
+  }
+  std::uint64_t bytes_written() const noexcept override { return bytes_; }
+
+ private:
+  fs::path tmp_, final_;
+  std::ofstream os_;
+  std::uint64_t bytes_ = 0;
+  bool closed_ = false;
+  std::atomic<std::uint64_t>* total_;
+};
+
+class FileReader final : public Reader {
+ public:
+  explicit FileReader(const fs::path& path) : size_(fs::file_size(path)) {
+    is_.open(path, std::ios::binary);
+  }
+  Result<std::size_t> read(std::span<std::byte> out) override {
+    is_.read(reinterpret_cast<char*>(out.data()),
+             static_cast<std::streamsize>(out.size()));
+    auto got = static_cast<std::size_t>(is_.gcount());
+    if (got == 0 && !is_.eof()) return io_error("file read failed");
+    return got;
+  }
+  std::uint64_t size() const noexcept override { return size_; }
+
+ private:
+  std::ifstream is_;
+  std::uint64_t size_;
+};
+
+class FileBackend final : public StorageBackend {
+ public:
+  explicit FileBackend(fs::path dir) : dir_(std::move(dir)) {}
+
+  Result<std::unique_ptr<Writer>> create(const std::string& key) override {
+    fs::path final_path = dir_ / key;
+    std::error_code ec;
+    fs::create_directories(final_path.parent_path(), ec);
+    fs::path tmp = final_path;
+    tmp += ".tmp";
+    auto w = std::make_unique<FileWriter>(tmp, final_path, &total_);
+    return std::unique_ptr<Writer>(std::move(w));
+  }
+
+  Result<std::unique_ptr<Reader>> open(const std::string& key) override {
+    fs::path p = dir_ / key;
+    std::error_code ec;
+    if (!fs::exists(p, ec)) return not_found("no such object: " + key);
+    return std::unique_ptr<Reader>(new FileReader(p));
+  }
+
+  Status remove(const std::string& key) override {
+    std::error_code ec;
+    if (!fs::remove(dir_ / key, ec)) {
+      return not_found("no such object: " + key);
+    }
+    return Status::ok();
+  }
+
+  Result<std::vector<std::string>> list() override {
+    std::vector<std::string> keys;
+    std::error_code ec;
+    for (auto it = fs::recursive_directory_iterator(dir_, ec);
+         !ec && it != fs::recursive_directory_iterator(); ++it) {
+      if (it->is_regular_file()) {
+        keys.push_back(fs::relative(it->path(), dir_).string());
+      }
+    }
+    std::sort(keys.begin(), keys.end());
+    return keys;
+  }
+
+  bool exists(const std::string& key) override {
+    std::error_code ec;
+    return fs::exists(dir_ / key, ec);
+  }
+
+  std::uint64_t total_bytes_stored() const noexcept override {
+    return total_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  fs::path dir_;
+  std::atomic<std::uint64_t> total_{0};
+};
+
+}  // namespace
+
+Result<std::unique_ptr<StorageBackend>> make_file_backend(
+    const std::string& directory) {
+  std::error_code ec;
+  fs::create_directories(directory, ec);
+  if (ec) return io_error("cannot create " + directory + ": " + ec.message());
+  return std::unique_ptr<StorageBackend>(new FileBackend(directory));
+}
+
+// ----------------------------------------------------------------- memory
+
+namespace {
+
+struct MemoryStore {
+  std::mutex mu;
+  std::map<std::string, std::vector<std::byte>> objects;
+  std::atomic<std::uint64_t> total{0};
+};
+
+class MemoryWriter final : public Writer {
+ public:
+  MemoryWriter(std::shared_ptr<MemoryStore> store, std::string key)
+      : store_(std::move(store)), key_(std::move(key)) {}
+  Status write(std::span<const std::byte> data) override {
+    if (closed_) return failed_precondition("write after close");
+    buf_.insert(buf_.end(), data.begin(), data.end());
+    return Status::ok();
+  }
+  Status close() override {
+    if (closed_) return Status::ok();
+    closed_ = true;
+    bytes_ = buf_.size();
+    store_->total.fetch_add(buf_.size(), std::memory_order_relaxed);
+    std::lock_guard<std::mutex> lock(store_->mu);
+    store_->objects[key_] = std::move(buf_);
+    return Status::ok();
+  }
+  std::uint64_t bytes_written() const noexcept override {
+    return closed_ ? bytes_ : buf_.size();
+  }
+
+ private:
+  std::shared_ptr<MemoryStore> store_;
+  std::string key_;
+  std::vector<std::byte> buf_;
+  std::uint64_t bytes_ = 0;
+  bool closed_ = false;
+};
+
+class MemoryReader final : public Reader {
+ public:
+  explicit MemoryReader(std::vector<std::byte> data)
+      : data_(std::move(data)) {}
+  Result<std::size_t> read(std::span<std::byte> out) override {
+    std::size_t n = std::min(out.size(), data_.size() - pos_);
+    std::memcpy(out.data(), data_.data() + pos_, n);
+    pos_ += n;
+    return n;
+  }
+  std::uint64_t size() const noexcept override { return data_.size(); }
+
+ private:
+  std::vector<std::byte> data_;
+  std::size_t pos_ = 0;
+};
+
+class MemoryBackend final : public StorageBackend {
+ public:
+  MemoryBackend() : store_(std::make_shared<MemoryStore>()) {}
+
+  Result<std::unique_ptr<Writer>> create(const std::string& key) override {
+    return std::unique_ptr<Writer>(new MemoryWriter(store_, key));
+  }
+  Result<std::unique_ptr<Reader>> open(const std::string& key) override {
+    std::lock_guard<std::mutex> lock(store_->mu);
+    auto it = store_->objects.find(key);
+    if (it == store_->objects.end()) {
+      return not_found("no such object: " + key);
+    }
+    return std::unique_ptr<Reader>(new MemoryReader(it->second));
+  }
+  Status remove(const std::string& key) override {
+    std::lock_guard<std::mutex> lock(store_->mu);
+    if (store_->objects.erase(key) == 0) {
+      return not_found("no such object: " + key);
+    }
+    return Status::ok();
+  }
+  Result<std::vector<std::string>> list() override {
+    std::lock_guard<std::mutex> lock(store_->mu);
+    std::vector<std::string> keys;
+    keys.reserve(store_->objects.size());
+    for (const auto& [k, v] : store_->objects) keys.push_back(k);
+    return keys;
+  }
+  bool exists(const std::string& key) override {
+    std::lock_guard<std::mutex> lock(store_->mu);
+    return store_->objects.count(key) > 0;
+  }
+  std::uint64_t total_bytes_stored() const noexcept override {
+    return store_->total.load(std::memory_order_relaxed);
+  }
+
+ private:
+  std::shared_ptr<MemoryStore> store_;
+};
+
+// ------------------------------------------------------------------- null
+
+class NullWriter final : public Writer {
+ public:
+  explicit NullWriter(std::atomic<std::uint64_t>* total) : total_(total) {}
+  Status write(std::span<const std::byte> data) override {
+    bytes_ += data.size();
+    return Status::ok();
+  }
+  Status close() override {
+    if (!closed_) {
+      closed_ = true;
+      total_->fetch_add(bytes_, std::memory_order_relaxed);
+    }
+    return Status::ok();
+  }
+  std::uint64_t bytes_written() const noexcept override { return bytes_; }
+
+ private:
+  std::uint64_t bytes_ = 0;
+  bool closed_ = false;
+  std::atomic<std::uint64_t>* total_;
+};
+
+class NullBackend final : public StorageBackend {
+ public:
+  Result<std::unique_ptr<Writer>> create(const std::string&) override {
+    return std::unique_ptr<Writer>(new NullWriter(&total_));
+  }
+  Result<std::unique_ptr<Reader>> open(const std::string& key) override {
+    return not_found("null backend stores nothing: " + key);
+  }
+  Status remove(const std::string&) override { return Status::ok(); }
+  Result<std::vector<std::string>> list() override {
+    return std::vector<std::string>{};
+  }
+  bool exists(const std::string&) override { return false; }
+  std::uint64_t total_bytes_stored() const noexcept override {
+    return total_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  std::atomic<std::uint64_t> total_{0};
+};
+
+}  // namespace
+
+std::unique_ptr<StorageBackend> make_memory_backend() {
+  return std::make_unique<MemoryBackend>();
+}
+
+std::unique_ptr<StorageBackend> make_null_backend() {
+  return std::make_unique<NullBackend>();
+}
+
+// -------------------------------------------------------------- throttled
+
+class ThrottledBackend::ThrottledWriter final : public Writer {
+ public:
+  ThrottledWriter(std::unique_ptr<Writer> inner, double bytes_per_second,
+                  bool really_sleep,
+                  std::shared_ptr<std::atomic<std::uint64_t>> counter)
+      : inner_(std::move(inner)),
+        bps_(bytes_per_second),
+        sleep_(really_sleep),
+        counter_(std::move(counter)) {}
+
+  Status write(std::span<const std::byte> data) override {
+    ICKPT_RETURN_IF_ERROR(inner_->write(data));
+    counter_->fetch_add(data.size(), std::memory_order_relaxed);
+    if (sleep_ && bps_ > 0) {
+      auto stall = std::chrono::duration<double>(
+          static_cast<double>(data.size()) / bps_);
+      std::this_thread::sleep_for(stall);
+    }
+    return Status::ok();
+  }
+  Status close() override { return inner_->close(); }
+  std::uint64_t bytes_written() const noexcept override {
+    return inner_->bytes_written();
+  }
+
+ private:
+  std::unique_ptr<Writer> inner_;
+  double bps_;
+  bool sleep_;
+  std::shared_ptr<std::atomic<std::uint64_t>> counter_;
+};
+
+ThrottledBackend::ThrottledBackend(StorageBackend& inner,
+                                   double bytes_per_second, bool really_sleep)
+    : inner_(inner),
+      bytes_per_second_(bytes_per_second),
+      really_sleep_(really_sleep),
+      throttled_bytes_(std::make_shared<std::atomic<std::uint64_t>>(0)) {}
+
+Result<std::unique_ptr<Writer>> ThrottledBackend::create(
+    const std::string& key) {
+  auto w = inner_.create(key);
+  if (!w.is_ok()) return w.status();
+  return std::unique_ptr<Writer>(
+      new ThrottledWriter(std::move(w.value()), bytes_per_second_,
+                          really_sleep_, throttled_bytes_));
+}
+
+Result<std::unique_ptr<Reader>> ThrottledBackend::open(
+    const std::string& key) {
+  return inner_.open(key);
+}
+Status ThrottledBackend::remove(const std::string& key) {
+  return inner_.remove(key);
+}
+Result<std::vector<std::string>> ThrottledBackend::list() {
+  return inner_.list();
+}
+bool ThrottledBackend::exists(const std::string& key) {
+  return inner_.exists(key);
+}
+std::uint64_t ThrottledBackend::total_bytes_stored() const noexcept {
+  return inner_.total_bytes_stored();
+}
+double ThrottledBackend::modeled_seconds() const noexcept {
+  if (bytes_per_second_ <= 0) return 0;
+  return static_cast<double>(
+             throttled_bytes_->load(std::memory_order_relaxed)) /
+         bytes_per_second_;
+}
+
+// ----------------------------------------------------------------- faulty
+
+class FaultyBackend::FaultyWriter final : public Writer {
+ public:
+  FaultyWriter(std::unique_ptr<Writer> inner,
+               std::shared_ptr<std::atomic<std::uint64_t>> budget)
+      : inner_(std::move(inner)), budget_(std::move(budget)) {}
+
+  Status write(std::span<const std::byte> data) override {
+    std::uint64_t before =
+        budget_->load(std::memory_order_relaxed);
+    if (before < data.size()) {
+      budget_->store(0, std::memory_order_relaxed);
+      return io_error("injected storage fault (budget exhausted)");
+    }
+    budget_->fetch_sub(data.size(), std::memory_order_relaxed);
+    return inner_->write(data);
+  }
+  Status close() override { return inner_->close(); }
+  std::uint64_t bytes_written() const noexcept override {
+    return inner_->bytes_written();
+  }
+
+ private:
+  std::unique_ptr<Writer> inner_;
+  std::shared_ptr<std::atomic<std::uint64_t>> budget_;
+};
+
+FaultyBackend::FaultyBackend(StorageBackend& inner,
+                             std::uint64_t fail_after_bytes)
+    : inner_(inner),
+      budget_(std::make_shared<std::atomic<std::uint64_t>>(
+          fail_after_bytes)) {}
+
+Result<std::unique_ptr<Writer>> FaultyBackend::create(const std::string& key) {
+  auto w = inner_.create(key);
+  if (!w.is_ok()) return w.status();
+  return std::unique_ptr<Writer>(
+      new FaultyWriter(std::move(w.value()), budget_));
+}
+Result<std::unique_ptr<Reader>> FaultyBackend::open(const std::string& key) {
+  return inner_.open(key);
+}
+Status FaultyBackend::remove(const std::string& key) {
+  return inner_.remove(key);
+}
+Result<std::vector<std::string>> FaultyBackend::list() {
+  return inner_.list();
+}
+bool FaultyBackend::exists(const std::string& key) {
+  return inner_.exists(key);
+}
+std::uint64_t FaultyBackend::total_bytes_stored() const noexcept {
+  return inner_.total_bytes_stored();
+}
+
+}  // namespace ickpt::storage

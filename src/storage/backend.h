@@ -1,0 +1,114 @@
+// Storage backends for checkpoint data.
+//
+// The paper sizes checkpointing against two sinks (Section 3): the
+// interconnect (QsNet II, 900 MB/s) and secondary storage (SCSI,
+// 320 MB/s).  The backends here provide real persistence (file), fast
+// in-memory storage (for diskless-style checkpointing and tests), a
+// byte-counting null sink, a bandwidth-throttling decorator that
+// models the 2004 ceilings, and a fault-injecting decorator for
+// failure testing.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace ickpt::storage {
+
+/// Sequential writer for one object.  close() must be called for the
+/// object to become visible; destroying an unclosed writer aborts it.
+class Writer {
+ public:
+  virtual ~Writer() = default;
+  virtual Status write(std::span<const std::byte> data) = 0;
+  virtual Status close() = 0;
+  virtual std::uint64_t bytes_written() const noexcept = 0;
+};
+
+/// Sequential reader for one object.
+class Reader {
+ public:
+  virtual ~Reader() = default;
+  /// Reads up to out.size() bytes; returns the count (0 at EOF).
+  virtual Result<std::size_t> read(std::span<std::byte> out) = 0;
+  virtual std::uint64_t size() const noexcept = 0;
+};
+
+class StorageBackend {
+ public:
+  virtual ~StorageBackend() = default;
+
+  virtual Result<std::unique_ptr<Writer>> create(const std::string& key) = 0;
+  virtual Result<std::unique_ptr<Reader>> open(const std::string& key) = 0;
+  virtual Status remove(const std::string& key) = 0;
+  virtual Result<std::vector<std::string>> list() = 0;
+  virtual bool exists(const std::string& key) = 0;
+
+  /// Cumulative payload bytes accepted by close()d writers.
+  virtual std::uint64_t total_bytes_stored() const noexcept = 0;
+};
+
+/// Files under a directory; keys may contain '/' (subdirectories are
+/// created on demand).  Writes go to a ".tmp" sibling and are renamed
+/// on close so a crash never leaves a half-visible checkpoint.
+Result<std::unique_ptr<StorageBackend>> make_file_backend(
+    const std::string& directory);
+
+/// In-memory objects (thread-safe).
+std::unique_ptr<StorageBackend> make_memory_backend();
+
+/// Discards all data, keeps byte counts (bandwidth quantification).
+std::unique_ptr<StorageBackend> make_null_backend();
+
+/// Decorator: models a fixed-bandwidth device.  Accumulates the
+/// virtual seconds each write would take at `bytes_per_second`; when
+/// `really_sleep` is set it also stalls the caller (for wall-clock
+/// experiments).  The decorated backend must outlive the decorator.
+class ThrottledBackend : public StorageBackend {
+ public:
+  ThrottledBackend(StorageBackend& inner, double bytes_per_second,
+                   bool really_sleep = false);
+
+  Result<std::unique_ptr<Writer>> create(const std::string& key) override;
+  Result<std::unique_ptr<Reader>> open(const std::string& key) override;
+  Status remove(const std::string& key) override;
+  Result<std::vector<std::string>> list() override;
+  bool exists(const std::string& key) override;
+  std::uint64_t total_bytes_stored() const noexcept override;
+
+  /// Total modelled transfer time so far, in seconds.
+  double modeled_seconds() const noexcept;
+
+ private:
+  class ThrottledWriter;
+  StorageBackend& inner_;
+  double bytes_per_second_;
+  bool really_sleep_;
+  std::shared_ptr<std::atomic<std::uint64_t>> throttled_bytes_;
+};
+
+/// Decorator: fails writes after `fail_after_bytes` total payload
+/// bytes (kIoError), for failure-injection tests.
+class FaultyBackend : public StorageBackend {
+ public:
+  FaultyBackend(StorageBackend& inner, std::uint64_t fail_after_bytes);
+
+  Result<std::unique_ptr<Writer>> create(const std::string& key) override;
+  Result<std::unique_ptr<Reader>> open(const std::string& key) override;
+  Status remove(const std::string& key) override;
+  Result<std::vector<std::string>> list() override;
+  bool exists(const std::string& key) override;
+  std::uint64_t total_bytes_stored() const noexcept override;
+
+ private:
+  class FaultyWriter;
+  StorageBackend& inner_;
+  std::shared_ptr<std::atomic<std::uint64_t>> budget_;
+};
+
+}  // namespace ickpt::storage

@@ -1,0 +1,40 @@
+// The unit of measurement: one checkpoint-timeslice sample.
+//
+// Mirrors what the paper's alarm handler records at every timeslice
+// boundary (Section 4.2): the Incremental Working Set accumulated
+// during the slice, the current memory footprint, and the volume of
+// data received from the network during the slice (Figure 1b).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace ickpt::trace {
+
+struct Sample {
+  std::uint64_t index = 0;     ///< sequence number of the timeslice
+  double t_start = 0.0;        ///< slice start (virtual or wall seconds)
+  double t_end = 0.0;          ///< slice end
+  std::size_t iws_pages = 0;   ///< Incremental Working Set, pages
+  std::size_t iws_bytes = 0;   ///< Incremental Working Set, bytes
+  std::size_t footprint_bytes = 0;  ///< tracked memory at slice end
+  std::uint64_t recv_bytes = 0;     ///< payload received during slice
+  std::uint64_t sent_bytes = 0;     ///< payload sent during slice
+
+  double timeslice() const noexcept { return t_end - t_start; }
+
+  /// Incremental Bandwidth for this slice: IWS / timeslice (bytes/s).
+  double ib_bytes_per_s() const noexcept {
+    double dt = timeslice();
+    return dt > 0 ? static_cast<double>(iws_bytes) / dt : 0.0;
+  }
+
+  /// IWS size over footprint (paper Figure 4), in [0, 1].
+  double iws_footprint_ratio() const noexcept {
+    return footprint_bytes > 0 ? static_cast<double>(iws_bytes) /
+                                     static_cast<double>(footprint_bytes)
+                               : 0.0;
+  }
+};
+
+}  // namespace ickpt::trace

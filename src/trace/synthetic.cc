@@ -1,0 +1,87 @@
+#include "trace/synthetic.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/page.h"
+#include "common/units.h"
+
+namespace ickpt::trace {
+
+namespace {
+
+/// Distinct bytes written in the window [t0, t1) relative to the
+/// iteration that starts at phase 0 (times in seconds within one
+/// period).  Approximates the executor: spike once at burst start,
+/// hot counted once per window it intersects, cold accrues linearly.
+double window_mb(const BurstModel& m, double t0, double t1) {
+  const double burst_len = m.burst_frac * m.period_s;
+  double mb = 0;
+  // Spike lands at the first instant of the burst.
+  if (t0 <= 0.0 && t1 > 0.0) mb += m.spike_mb;
+  // Hot region: counted once if the window overlaps any burst time.
+  double overlap = std::max(0.0, std::min(t1, burst_len) - std::max(t0, 0.0));
+  if (overlap > 0) {
+    mb += std::min(m.hot_mb, m.hot_mb * (t1 - t0));  // partial-second windows
+    mb += m.cold_mb_per_s * overlap;
+  }
+  return std::min(mb, m.active_mb);
+}
+
+}  // namespace
+
+TimeSeries synthesize(const BurstModel& model, double timeslice,
+                      double duration) {
+  TimeSeries out("synthetic");
+  const std::size_t psize = page_size();
+  std::uint64_t index = 0;
+  for (double t = 0; t + timeslice <= duration + 1e-9; t += timeslice) {
+    Sample s;
+    s.index = index++;
+    s.t_start = t;
+    s.t_end = t + timeslice;
+
+    double mb = 0;
+    if (index == 1 && model.init_coverage > 0) {
+      mb = model.init_coverage * model.footprint_mb;
+    } else {
+      // Sum contributions of every iteration the slice overlaps.
+      double first_iter = std::floor(t / model.period_s);
+      double last_iter = std::floor((t + timeslice) / model.period_s);
+      for (double it = first_iter; it <= last_iter; ++it) {
+        double base = it * model.period_s;
+        mb += window_mb(model, t - base, t + timeslice - base);
+      }
+      mb = std::min(mb, model.footprint_mb);
+      // Communication-gap receive traffic.
+      double burst_len = model.burst_frac * model.period_s;
+      double phase = t - first_iter * model.period_s;
+      if (phase >= burst_len) {
+        s.recv_bytes = static_cast<std::uint64_t>(
+            model.comm_recv_mb_per_s * timeslice *
+            static_cast<double>(kMB));
+      }
+    }
+    s.iws_bytes = static_cast<std::size_t>(mb * static_cast<double>(kMB));
+    s.iws_pages = (s.iws_bytes + psize - 1) / psize;
+    s.footprint_bytes = static_cast<std::size_t>(
+        model.footprint_mb * static_cast<double>(kMB));
+    out.add(s);
+  }
+  return out;
+}
+
+double expected_avg_ib_mb(const BurstModel& m, double timeslice) {
+  const double burst_len = m.burst_frac * m.period_s;
+  // Per iteration: spike once + hot once per slice overlapping the
+  // burst + cold linear, capped by the active set per slice.
+  double slices_in_burst = burst_len / timeslice;
+  double per_iter =
+      m.spike_mb +
+      std::min(m.hot_mb, m.hot_mb * timeslice) * slices_in_burst +
+      m.cold_mb_per_s * burst_len;
+  double capped = std::min(per_iter, m.active_mb * (slices_in_burst + 1));
+  return capped / m.period_s;
+}
+
+}  // namespace ickpt::trace

@@ -1,0 +1,37 @@
+// Synthetic IWS series generator.
+//
+// Produces the *closed-form expectation* of the timeslice samples for
+// the spike/hot/cold burst model the proxy kernels execute (see
+// apps/catalog.cc).  Used to property-test the analysis layer against
+// known ground truth (period detection, IB statistics) without running
+// a kernel, and as a quick what-if tool for checkpoint planning.
+#pragma once
+
+#include <cstdint>
+
+#include "trace/time_series.h"
+
+namespace ickpt::trace {
+
+struct BurstModel {
+  double period_s = 10.0;      ///< main iteration length
+  double burst_frac = 0.8;     ///< fraction of the period that is burst
+  double spike_mb = 0.0;       ///< written at burst start
+  double hot_mb = 10.0;        ///< rewritten once per second of burst
+  double cold_mb_per_s = 1.0;  ///< fresh pages per second of burst
+  double active_mb = 50.0;     ///< cap on distinct bytes per iteration
+  double footprint_mb = 100.0; ///< reported memory image size
+  double comm_recv_mb_per_s = 0.5;  ///< received during the comm gap
+  double init_coverage = 1.0;  ///< fraction written in slice 0
+};
+
+/// Expected IWS/recv per slice for `duration` seconds at `timeslice`.
+/// Slice 0 carries the initialization burst when init_coverage > 0.
+TimeSeries synthesize(const BurstModel& model, double timeslice,
+                      double duration);
+
+/// The model's expected long-run average IB in MB/s at `timeslice` —
+/// the quantity the calibration solver in apps/catalog.cc inverts.
+double expected_avg_ib_mb(const BurstModel& model, double timeslice);
+
+}  // namespace ickpt::trace

@@ -1,0 +1,83 @@
+#include "trace/time_series.h"
+
+#include <cinttypes>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+namespace ickpt::trace {
+
+std::vector<double> TimeSeries::iws_bytes_series() const {
+  std::vector<double> out;
+  out.reserve(samples_.size());
+  for (const auto& s : samples_) {
+    out.push_back(static_cast<double>(s.iws_bytes));
+  }
+  return out;
+}
+
+std::vector<double> TimeSeries::ib_series() const {
+  std::vector<double> out;
+  out.reserve(samples_.size());
+  for (const auto& s : samples_) out.push_back(s.ib_bytes_per_s());
+  return out;
+}
+
+std::vector<double> TimeSeries::recv_series() const {
+  std::vector<double> out;
+  out.reserve(samples_.size());
+  for (const auto& s : samples_) {
+    out.push_back(static_cast<double>(s.recv_bytes));
+  }
+  return out;
+}
+
+std::vector<double> TimeSeries::footprint_series() const {
+  std::vector<double> out;
+  out.reserve(samples_.size());
+  for (const auto& s : samples_) {
+    out.push_back(static_cast<double>(s.footprint_bytes));
+  }
+  return out;
+}
+
+Status TimeSeries::write_csv(const std::string& path) const {
+  std::ofstream os(path);
+  if (!os) return io_error("cannot open " + path);
+  os << "index,t_start,t_end,iws_pages,iws_bytes,footprint_bytes,"
+        "recv_bytes,sent_bytes\n";
+  for (const auto& s : samples_) {
+    char buf[256];
+    std::snprintf(buf, sizeof buf,
+                  "%" PRIu64 ",%.6f,%.6f,%zu,%zu,%zu,%" PRIu64 ",%" PRIu64
+                  "\n",
+                  s.index, s.t_start, s.t_end, s.iws_pages, s.iws_bytes,
+                  s.footprint_bytes, s.recv_bytes, s.sent_bytes);
+    os << buf;
+  }
+  if (!os) return io_error("write failed for " + path);
+  return Status::ok();
+}
+
+Result<TimeSeries> TimeSeries::read_csv(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return io_error("cannot open " + path);
+  std::string line;
+  if (!std::getline(in, line)) return corruption("empty csv: " + path);
+  TimeSeries ts(path);
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    Sample s;
+    if (std::sscanf(line.c_str(),
+                    "%" SCNu64 ",%lf,%lf,%zu,%zu,%zu,%" SCNu64 ",%" SCNu64,
+                    &s.index, &s.t_start, &s.t_end, &s.iws_pages,
+                    &s.iws_bytes, &s.footprint_bytes, &s.recv_bytes,
+                    &s.sent_bytes) != 8) {
+      return corruption("bad csv row: " + line);
+    }
+    ts.add(s);
+  }
+  return ts;
+}
+
+}  // namespace ickpt::trace

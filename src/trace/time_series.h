@@ -1,0 +1,47 @@
+// TimeSeries: an ordered sequence of timeslice samples with CSV export
+// and the series extractions the analysis module consumes.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "trace/sample.h"
+
+namespace ickpt::trace {
+
+class TimeSeries {
+ public:
+  TimeSeries() = default;
+  explicit TimeSeries(std::string label) : label_(std::move(label)) {}
+
+  void add(Sample s) { samples_.push_back(s); }
+  void clear() { samples_.clear(); }
+
+  const std::vector<Sample>& samples() const noexcept { return samples_; }
+  std::size_t size() const noexcept { return samples_.size(); }
+  bool empty() const noexcept { return samples_.empty(); }
+  const Sample& operator[](std::size_t i) const { return samples_[i]; }
+  const std::string& label() const noexcept { return label_; }
+
+  /// IWS sizes in bytes, one per slice.
+  std::vector<double> iws_bytes_series() const;
+  /// Incremental bandwidth in bytes/s, one per slice.
+  std::vector<double> ib_series() const;
+  /// Data received per slice, bytes.
+  std::vector<double> recv_series() const;
+  /// Footprint at each slice end, bytes.
+  std::vector<double> footprint_series() const;
+
+  /// CSV with one row per sample.
+  Status write_csv(const std::string& path) const;
+
+  /// Round-trip load of write_csv output (for offline analysis tests).
+  static Result<TimeSeries> read_csv(const std::string& path);
+
+ private:
+  std::string label_;
+  std::vector<Sample> samples_;
+};
+
+}  // namespace ickpt::trace

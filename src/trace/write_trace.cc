@@ -1,0 +1,109 @@
+#include "trace/write_trace.h"
+
+#include <cinttypes>
+#include <cstdio>
+#include <fstream>
+
+#include "common/page.h"
+
+namespace ickpt::trace {
+
+void WriteTrace::record(std::uint64_t slice, std::uint32_t first_page,
+                        std::uint32_t page_count) {
+  if (page_count == 0) return;
+  events_.push_back(WriteEvent{slice, first_page, page_count});
+}
+
+void WriteTrace::record_snapshot(
+    std::uint64_t slice, const std::vector<std::uint32_t>& dirty_pages) {
+  std::size_t i = 0;
+  while (i < dirty_pages.size()) {
+    std::size_t j = i + 1;
+    while (j < dirty_pages.size() &&
+           dirty_pages[j] == dirty_pages[j - 1] + 1) {
+      ++j;
+    }
+    record(slice, dirty_pages[i], static_cast<std::uint32_t>(j - i));
+    i = j;
+  }
+}
+
+std::uint64_t WriteTrace::slice_count() const noexcept {
+  std::uint64_t max_slice = 0;
+  for (const auto& e : events_) max_slice = std::max(max_slice, e.slice + 1);
+  return max_slice;
+}
+
+Result<std::vector<std::size_t>> WriteTrace::replay(
+    memtrack::DirtyTracker& tracker, std::span<std::byte> mem) const {
+  if (mem.size() < region_pages_ * page_size()) {
+    return invalid_argument("replay: memory smaller than traced region");
+  }
+  auto region = tracker.attach(mem.subspan(0, region_pages_ * page_size()),
+                               "trace-replay");
+  if (!region.is_ok()) return region.status();
+  ICKPT_RETURN_IF_ERROR(tracker.arm());
+
+  std::vector<std::size_t> iws(slice_count(), 0);
+  std::uint64_t current = 0;
+  auto flush = [&](std::uint64_t upto) -> Status {
+    while (current < upto) {
+      auto snap = tracker.collect(/*rearm=*/true);
+      if (!snap.is_ok()) return snap.status();
+      iws[current] = snap->dirty_pages();
+      ++current;
+    }
+    return Status::ok();
+  };
+
+  // Events are replayed in slice order; callers record them in order.
+  for (const auto& e : events_) {
+    ICKPT_RETURN_IF_ERROR(flush(e.slice));
+    std::byte* base = mem.data() + std::size_t{e.first_page} * page_size();
+    for (std::uint32_t p = 0; p < e.page_count; ++p) {
+      base[std::size_t{p} * page_size()] ^= std::byte{0xFF};
+    }
+    tracker.note_write(base, std::size_t{e.page_count} * page_size());
+  }
+  ICKPT_RETURN_IF_ERROR(flush(slice_count()));
+  ICKPT_RETURN_IF_ERROR(tracker.detach(region.value()));
+  return iws;
+}
+
+Status WriteTrace::save(const std::string& path) const {
+  std::ofstream os(path);
+  if (!os) return io_error("cannot open " + path);
+  os << "ickpt-write-trace v1\n";
+  os << region_pages_ << ' ' << timeslice_ << ' ' << events_.size() << '\n';
+  for (const auto& e : events_) {
+    os << e.slice << ' ' << e.first_page << ' ' << e.page_count << '\n';
+  }
+  if (!os) return io_error("write failed for " + path);
+  return Status::ok();
+}
+
+Result<WriteTrace> WriteTrace::load(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return io_error("cannot open " + path);
+  std::string magic;
+  std::getline(in, magic);
+  if (magic != "ickpt-write-trace v1") {
+    return corruption("bad trace header in " + path);
+  }
+  std::size_t pages = 0, count = 0;
+  double timeslice = 0;
+  if (!(in >> pages >> timeslice >> count)) {
+    return corruption("bad trace metadata in " + path);
+  }
+  WriteTrace t(pages, timeslice);
+  for (std::size_t i = 0; i < count; ++i) {
+    WriteEvent e;
+    if (!(in >> e.slice >> e.first_page >> e.page_count)) {
+      return corruption("truncated trace in " + path);
+    }
+    t.events_.push_back(e);
+  }
+  return t;
+}
+
+}  // namespace ickpt::trace

@@ -1,0 +1,63 @@
+// WriteTrace: capture and deterministic replay of page-write patterns.
+//
+// A trace records, per timeslice, which pages of a logical region were
+// written.  Replaying a trace through an ExplicitEngine reproduces the
+// exact IWS series without re-running the application — used by the
+// analysis tests and by the trace-driven examples.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "memtrack/tracker.h"
+
+namespace ickpt::trace {
+
+struct WriteEvent {
+  std::uint64_t slice = 0;        ///< timeslice index
+  std::uint32_t first_page = 0;   ///< first page of the run
+  std::uint32_t page_count = 0;   ///< pages in the run
+};
+
+class WriteTrace {
+ public:
+  WriteTrace() = default;
+  WriteTrace(std::size_t region_pages, double timeslice)
+      : region_pages_(region_pages), timeslice_(timeslice) {}
+
+  void record(std::uint64_t slice, std::uint32_t first_page,
+              std::uint32_t page_count);
+
+  /// Record a dirty snapshot (page-index list) as run-length events.
+  void record_snapshot(std::uint64_t slice,
+                       const std::vector<std::uint32_t>& dirty_pages);
+
+  const std::vector<WriteEvent>& events() const noexcept { return events_; }
+  std::size_t region_pages() const noexcept { return region_pages_; }
+  double timeslice() const noexcept { return timeslice_; }
+
+  /// Widen the logical region (captures over dynamically growing
+  /// address spaces call this as new blocks appear).
+  void set_region_pages(std::size_t pages) {
+    region_pages_ = std::max(region_pages_, pages);
+  }
+  std::uint64_t slice_count() const noexcept;
+
+  /// Replay into a tracker: for each timeslice, write-notify the traced
+  /// pages inside `mem` and collect.  Returns one IWS page-count per
+  /// slice.  `mem` must cover region_pages() pages.
+  Result<std::vector<std::size_t>> replay(memtrack::DirtyTracker& tracker,
+                                          std::span<std::byte> mem) const;
+
+  Status save(const std::string& path) const;
+  static Result<WriteTrace> load(const std::string& path);
+
+ private:
+  std::size_t region_pages_ = 0;
+  double timeslice_ = 1.0;
+  std::vector<WriteEvent> events_;
+};
+
+}  // namespace ickpt::trace

@@ -1,0 +1,187 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "analysis/feasibility.h"
+#include "analysis/metrics.h"
+#include "analysis/period.h"
+#include "common/page.h"
+#include "common/units.h"
+
+namespace ickpt::analysis {
+namespace {
+
+trace::Sample sample(std::uint64_t i, double dt, std::size_t iws_bytes,
+                     std::size_t footprint, std::uint64_t recv = 0) {
+  trace::Sample s;
+  s.index = i;
+  s.t_start = static_cast<double>(i) * dt;
+  s.t_end = s.t_start + dt;
+  s.iws_bytes = iws_bytes;
+  s.iws_pages = iws_bytes / page_size();
+  s.footprint_bytes = footprint;
+  s.recv_bytes = recv;
+  return s;
+}
+
+TEST(MetricsTest, IBStatsBasics) {
+  trace::TimeSeries ts;
+  ts.add(sample(0, 1.0, 10 * kMB, 100 * kMB));
+  ts.add(sample(1, 1.0, 30 * kMB, 100 * kMB));
+  auto stats = compute_ib_stats(ts);
+  EXPECT_EQ(stats.samples, 2u);
+  EXPECT_DOUBLE_EQ(stats.avg_ib, 20.0 * static_cast<double>(kMB));
+  EXPECT_DOUBLE_EQ(stats.max_ib, 30.0 * static_cast<double>(kMB));
+  EXPECT_DOUBLE_EQ(stats.avg_iws, 20.0 * static_cast<double>(kMB));
+  EXPECT_DOUBLE_EQ(stats.max_iws, 30.0 * static_cast<double>(kMB));
+  EXPECT_NEAR(stats.avg_ratio, 0.2, 1e-9);
+}
+
+TEST(MetricsTest, SkipFirstExcludesWarmup) {
+  trace::TimeSeries ts;
+  ts.add(sample(0, 1.0, 500 * kMB, 500 * kMB));  // init burst
+  ts.add(sample(1, 1.0, 10 * kMB, 500 * kMB));
+  ts.add(sample(2, 1.0, 10 * kMB, 500 * kMB));
+  auto stats = compute_ib_stats(ts, /*skip_first=*/1);
+  EXPECT_EQ(stats.samples, 2u);
+  EXPECT_DOUBLE_EQ(stats.max_ib, 10.0 * static_cast<double>(kMB));
+}
+
+TEST(MetricsTest, FootprintStats) {
+  trace::TimeSeries ts;
+  ts.add(sample(0, 1.0, 0, 80 * kMB));
+  ts.add(sample(1, 1.0, 0, 120 * kMB));
+  ts.add(sample(2, 1.0, 0, 100 * kMB));
+  auto fp = compute_footprint_stats(ts);
+  EXPECT_DOUBLE_EQ(fp.max_bytes, 120.0 * static_cast<double>(kMB));
+  EXPECT_DOUBLE_EQ(fp.avg_bytes, 100.0 * static_cast<double>(kMB));
+}
+
+TEST(MetricsTest, TrafficStats) {
+  trace::TimeSeries ts;
+  ts.add(sample(0, 1.0, 0, 0, 100));
+  ts.add(sample(1, 1.0, 0, 0, 300));
+  auto t = compute_traffic_stats(ts);
+  EXPECT_DOUBLE_EQ(t.avg_recv, 200.0);
+  EXPECT_DOUBLE_EQ(t.max_recv, 300.0);
+  EXPECT_DOUBLE_EQ(t.total_recv, 400.0);
+}
+
+TEST(MetricsTest, EmptySeries) {
+  trace::TimeSeries ts;
+  auto stats = compute_ib_stats(ts);
+  EXPECT_EQ(stats.samples, 0u);
+  EXPECT_DOUBLE_EQ(stats.avg_ib, 0.0);
+}
+
+// ------------------------------------------------------------------ period
+
+TEST(PeriodTest, AutocorrelationOfConstantIsZero) {
+  std::vector<double> flat(100, 5.0);
+  auto r = autocorrelation(flat, 10);
+  for (double v : r) EXPECT_DOUBLE_EQ(v, 0.0);
+}
+
+TEST(PeriodTest, AutocorrelationLagZeroIsOne) {
+  std::vector<double> x;
+  for (int i = 0; i < 64; ++i) x.push_back(std::sin(0.3 * i));
+  auto r = autocorrelation(x, 8);
+  EXPECT_NEAR(r[0], 1.0, 1e-12);
+}
+
+TEST(PeriodTest, DetectsSinePeriod) {
+  std::vector<double> x;
+  const double period = 20.0;  // samples
+  for (int i = 0; i < 400; ++i) {
+    x.push_back(std::sin(2 * 3.14159265 * i / period));
+  }
+  auto est = detect_period(x, /*dt=*/0.5);
+  ASSERT_TRUE(est.found);
+  EXPECT_NEAR(est.period, 20.0 * 0.5, 0.5);
+  EXPECT_GT(est.confidence, 0.8);
+}
+
+TEST(PeriodTest, DetectsBurstTrainPeriod) {
+  // Mimics an IWS series: bursts of writes every 14 slices.
+  std::vector<double> x(280, 1.0);
+  for (std::size_t i = 0; i < x.size(); i += 14) {
+    for (std::size_t j = i; j < std::min(i + 5, x.size()); ++j) {
+      x[j] = 100.0;
+    }
+  }
+  auto est = detect_period(x, 1.0);
+  ASSERT_TRUE(est.found);
+  EXPECT_NEAR(est.period, 14.0, 1.0);
+}
+
+TEST(PeriodTest, FlatSeriesHasNoPeriod) {
+  std::vector<double> flat(100, 3.0);
+  EXPECT_FALSE(detect_period(flat, 1.0).found);
+}
+
+TEST(PeriodTest, NoiseHasNoPeriod) {
+  std::vector<double> x;
+  std::uint64_t state = 12345;
+  for (int i = 0; i < 200; ++i) {
+    state = state * 6364136223846793005ull + 1442695040888963407ull;
+    x.push_back(static_cast<double>(state >> 40));
+  }
+  auto est = detect_period(x, 1.0);
+  // White noise may occasionally show a weak spurious peak; require
+  // that any detection is low-confidence.
+  if (est.found) EXPECT_LT(est.confidence, 0.5);
+}
+
+TEST(PeriodTest, TooShortSeries) {
+  std::vector<double> x = {1, 2, 3};
+  EXPECT_FALSE(detect_period(x, 1.0).found);
+}
+
+// ------------------------------------------------------------- feasibility
+
+TEST(FeasibilityTest, PaperHeadlineNumbers) {
+  // Sage-1000MB: avg 78.8 MB/s is 9% of the 900 MB/s network and 25%
+  // of the 320 MB/s disk (Section 6.3).
+  IBStats stats;
+  stats.avg_ib = 78.8 * static_cast<double>(kMB);
+  stats.max_ib = 274.9 * static_cast<double>(kMB);
+  auto v = assess_feasibility(stats);
+  EXPECT_NEAR(v.frac_of_network_avg, 0.0876, 0.001);
+  EXPECT_NEAR(v.frac_of_storage_avg, 0.246, 0.001);
+  EXPECT_TRUE(v.network_feasible);
+  EXPECT_TRUE(v.storage_feasible);
+  EXPECT_TRUE(v.feasible());
+}
+
+TEST(FeasibilityTest, ExceedingStorageCeilingFlagged) {
+  IBStats stats;
+  stats.avg_ib = 100.0 * static_cast<double>(kMB);
+  stats.max_ib = 400.0 * static_cast<double>(kMB);  // > 320 disk
+  auto v = assess_feasibility(stats);
+  EXPECT_TRUE(v.network_feasible);
+  EXPECT_FALSE(v.storage_feasible);
+  EXPECT_FALSE(v.feasible());
+}
+
+TEST(FeasibilityTest, CustomCeilings) {
+  IBStats stats;
+  stats.avg_ib = 50 * static_cast<double>(kMB);
+  stats.max_ib = 50 * static_cast<double>(kMB);
+  TechnologyCeilings slow;
+  slow.network_bytes_per_s = 10.0 * static_cast<double>(kMB);
+  slow.storage_bytes_per_s = 10.0 * static_cast<double>(kMB);
+  auto v = assess_feasibility(stats, slow);
+  EXPECT_FALSE(v.feasible());
+  EXPECT_DOUBLE_EQ(v.frac_of_network_avg, 5.0);
+}
+
+TEST(FeasibilityTest, DescribeMentionsVerdict) {
+  IBStats stats;
+  stats.avg_ib = 10 * static_cast<double>(kMB);
+  stats.max_ib = 20 * static_cast<double>(kMB);
+  auto text = describe(assess_feasibility(stats));
+  EXPECT_NE(text.find("FEASIBLE"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace ickpt::analysis

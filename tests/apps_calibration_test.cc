@@ -1,0 +1,157 @@
+// Calibration tests: the proxy kernels must reproduce the paper's
+// measured characteristics within tolerance.
+//
+//   Table 2: footprint max/avg
+//   Table 3: main-iteration period, overwrite fraction
+//   Table 4: avg/max incremental bandwidth at a 1 s timeslice
+//
+// Tolerances are deliberately looser for maxima (alignment-sensitive
+// with few iterations) and for the two apps whose paper numbers are
+// internally in tension with their own Table 3 (see EXPERIMENTS.md).
+#include <gtest/gtest.h>
+
+#include "analysis/period.h"
+#include "apps/catalog.h"
+#include "common/units.h"
+#include "core/study.h"
+
+namespace ickpt {
+namespace {
+
+constexpr double kScale = 1.0 / 16.0;
+
+double mb(double bytes) { return bytes / static_cast<double>(kMB); }
+
+StudyResult run_or_die(StudyConfig cfg) {
+  auto r = run_study(cfg);
+  EXPECT_TRUE(r.is_ok()) << r.status().to_string();
+  return std::move(r.value());
+}
+
+class CalibrationTest : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(CalibrationTest, FootprintMatchesTable2) {
+  StudyConfig cfg;
+  cfg.app = GetParam();
+  cfg.timeslice = 1.0;
+  cfg.footprint_scale = kScale;
+  auto r = run_or_die(cfg);
+  auto t = apps::paper_targets(GetParam()).value();
+
+  double max_mb = mb(r.footprint.max_bytes) / kScale;
+  double avg_mb = mb(r.footprint.avg_bytes) / kScale;
+  EXPECT_NEAR(max_mb, t.footprint_max_mb, 0.08 * t.footprint_max_mb)
+      << "footprint max";
+  EXPECT_NEAR(avg_mb, t.footprint_avg_mb, 0.10 * t.footprint_avg_mb)
+      << "footprint avg";
+}
+
+TEST_P(CalibrationTest, AvgIBMatchesTable4) {
+  StudyConfig cfg;
+  cfg.app = GetParam();
+  cfg.timeslice = 1.0;
+  cfg.footprint_scale = kScale;
+  auto r = run_or_die(cfg);
+  auto t = apps::paper_targets(GetParam()).value();
+
+  double avg = mb(r.ib.avg_ib) / kScale;
+  // Sweep3D's paper maximum exceeds what its own Table 3 overwrite
+  // fraction permits; our self-consistent proxy sits ~13% low on the
+  // average (documented in EXPERIMENTS.md).
+  double tol = GetParam() == "sweep3d" ? 0.20 : 0.15;
+  EXPECT_NEAR(avg, t.avg_ib1_mb_s, tol * t.avg_ib1_mb_s);
+}
+
+TEST_P(CalibrationTest, MaxIBWithinTolerance) {
+  StudyConfig cfg;
+  cfg.app = GetParam();
+  cfg.timeslice = 1.0;
+  cfg.footprint_scale = kScale;
+  cfg.run_vs = 0;  // auto
+  auto r = run_or_die(cfg);
+  auto t = apps::paper_targets(GetParam()).value();
+
+  double max_ib = mb(r.ib.max_ib) / kScale;
+  if (GetParam() == "sweep3d") {
+    // Structural ceiling: see EXPERIMENTS.md.  Max must still exceed
+    // the average and stay below the union bound per slice.
+    EXPECT_GT(max_ib, 40.0);
+    EXPECT_LT(max_ib, t.max_ib1_mb_s);
+  } else {
+    EXPECT_NEAR(max_ib, t.max_ib1_mb_s, 0.25 * t.max_ib1_mb_s);
+  }
+}
+
+TEST_P(CalibrationTest, OverwriteFractionMatchesTable3) {
+  // Sampling with timeslice == period makes each slice's IWS the
+  // per-iteration union, i.e. Table 3's "Percent of Memory
+  // Overwritten".
+  auto t = apps::paper_targets(GetParam()).value();
+  StudyConfig cfg;
+  cfg.app = GetParam();
+  cfg.timeslice = t.period_s;
+  cfg.footprint_scale = kScale;
+  cfg.run_vs = std::min(12.0 * t.period_s, 900.0);
+  auto r = run_or_die(cfg);
+
+  EXPECT_NEAR(r.ib.avg_ratio, t.overwrite_frac, 0.10)
+      << "overwrite fraction per iteration";
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllApps, CalibrationTest,
+    ::testing::Values("sage-1000", "sage-500", "sage-100", "sage-50",
+                      "sweep3d", "sp", "lu", "bt", "ft"),
+    [](const auto& info) {
+      std::string n = info.param;
+      for (auto& c : n) {
+        if (c == '-') c = '_';
+      }
+      return n;
+    });
+
+TEST(CalibrationPeriodTest, DetectedPeriodsMatchTable3) {
+  // Period detection from the IWS series (paper §6.2: the burst
+  // structure identifies the main iteration).  Resolvable only when
+  // the period spans multiple timeslices, so sample NAS apps finer.
+  struct Case {
+    const char* app;
+    double timeslice;
+  };
+  for (const Case& c : {Case{"sage-50", 1.0}, Case{"sweep3d", 0.5},
+                        Case{"ft", 0.1}, Case{"lu", 0.05}}) {
+    auto t = apps::paper_targets(c.app).value();
+    StudyConfig cfg;
+    cfg.app = c.app;
+    cfg.timeslice = c.timeslice;
+    cfg.footprint_scale = 1.0 / 32.0;
+    cfg.run_vs = std::min(10.0 * t.period_s, 250.0);
+    auto r = run_or_die(cfg);
+
+    auto est = analysis::detect_period(r.per_rank[0].iws_bytes_series(),
+                                       c.timeslice);
+    ASSERT_TRUE(est.found) << c.app;
+    EXPECT_NEAR(est.period, t.period_s, 0.25 * t.period_s) << c.app;
+  }
+}
+
+TEST(CalibrationDecayTest, IBDecaysWithTimeslice) {
+  // Figure 2/3 shape: avg IB at tau=20 is far below avg IB at tau=1,
+  // and IWS(tau) is non-decreasing in tau.
+  for (const char* app : {"sage-100", "ft", "sp"}) {
+    StudyConfig cfg;
+    cfg.app = app;
+    cfg.footprint_scale = kScale;
+
+    cfg.timeslice = 1.0;
+    auto r1 = run_or_die(cfg);
+    cfg.timeslice = 20.0;
+    auto r20 = run_or_die(cfg);
+
+    EXPECT_LT(r20.ib.avg_ib, 0.45 * r1.ib.avg_ib) << app;
+    EXPECT_GE(r20.ib.avg_iws, 0.95 * r1.ib.avg_iws) << app;
+  }
+}
+
+}  // namespace
+}  // namespace ickpt

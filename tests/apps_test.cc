@@ -1,0 +1,233 @@
+// Behavioural tests of the proxy kernels: allocation shape, phase
+// structure, determinism, and dynamic-memory behaviour.
+#include <gtest/gtest.h>
+
+#include "apps/catalog.h"
+#include "apps/scripted_kernel.h"
+#include "common/units.h"
+#include "memtrack/explicit_engine.h"
+#include "sim/virtual_clock.h"
+
+namespace ickpt::apps {
+namespace {
+
+using memtrack::ExplicitEngine;
+
+AppConfig small_config() {
+  AppConfig cfg;
+  cfg.footprint_scale = 1.0 / 64.0;
+  return cfg;
+}
+
+TEST(CatalogTest, AllNamesResolve) {
+  for (const auto& name : catalog_names()) {
+    auto spec = find_spec(name);
+    ASSERT_TRUE(spec.is_ok()) << name;
+    EXPECT_EQ(spec->name, name);
+    EXPECT_GT(spec->footprint_mb, 0) << name;
+    EXPECT_GT(spec->period_s, 0) << name;
+    EXPECT_FALSE(spec->phases.empty()) << name;
+    EXPECT_TRUE(paper_targets(name).is_ok()) << name;
+  }
+  EXPECT_FALSE(find_spec("no-such-app").is_ok());
+  EXPECT_FALSE(paper_targets("no-such-app").is_ok());
+}
+
+TEST(CatalogTest, Figure2NamesAreSubsetOfCatalog) {
+  auto all = catalog_names();
+  for (const auto& name : figure2_names()) {
+    EXPECT_NE(std::find(all.begin(), all.end(), name), all.end()) << name;
+  }
+  EXPECT_EQ(figure2_names().size(), 6u);
+}
+
+TEST(CatalogTest, PhaseDurationsSumToPeriod) {
+  for (const auto& name : catalog_names()) {
+    auto spec = find_spec(name);
+    ASSERT_TRUE(spec.is_ok());
+    // Count parity-gated phases once (they alternate iterations).
+    double sum = 0;
+    for (const auto& p : spec->phases) {
+      if (p.parity == 1) continue;
+      sum += p.duration;
+    }
+    EXPECT_NEAR(sum, spec->period_s, 0.05 * spec->period_s) << name;
+  }
+}
+
+TEST(CatalogTest, PaperTargetsMatchTable2And3) {
+  auto t = paper_targets("sage-1000");
+  ASSERT_TRUE(t.is_ok());
+  EXPECT_DOUBLE_EQ(t->footprint_max_mb, 954.6);
+  EXPECT_DOUBLE_EQ(t->footprint_avg_mb, 779.5);
+  EXPECT_DOUBLE_EQ(t->period_s, 145);
+  EXPECT_DOUBLE_EQ(t->overwrite_frac, 0.53);
+  auto ft = paper_targets("ft");
+  ASSERT_TRUE(ft.is_ok());
+  EXPECT_DOUBLE_EQ(ft->avg_ib1_mb_s, 92.1);
+}
+
+TEST(ScriptedKernelTest, InitAllocatesFootprint) {
+  ExplicitEngine engine;
+  sim::VirtualClock clock;
+  auto app = make_app("lu", small_config(), engine, clock);
+  ASSERT_TRUE(app.is_ok());
+  ASSERT_TRUE((*app)->init().is_ok());
+  double expected = 16.6 * static_cast<double>(kMB) / 64.0;
+  EXPECT_NEAR(static_cast<double>((*app)->footprint_bytes()), expected,
+              expected * 0.02 + 2 * static_cast<double>(page_size()));
+  EXPECT_GT(clock.now(), 0.0);  // init consumed virtual time
+}
+
+TEST(ScriptedKernelTest, IterateAdvancesClockByPeriod) {
+  ExplicitEngine engine;
+  sim::VirtualClock clock;
+  auto app = make_app("sp", small_config(), engine, clock);
+  ASSERT_TRUE(app.is_ok());
+  ASSERT_TRUE((*app)->init().is_ok());
+  double t0 = clock.now();
+  ASSERT_TRUE((*app)->iterate().is_ok());
+  EXPECT_NEAR(clock.now() - t0, 0.16, 0.02);
+  EXPECT_NEAR((*app)->period(), 0.16, 0.02);
+}
+
+TEST(ScriptedKernelTest, RunUntilReachesTargetTime) {
+  ExplicitEngine engine;
+  sim::VirtualClock clock;
+  auto app = make_app("bt", small_config(), engine, clock);
+  ASSERT_TRUE(app.is_ok());
+  ASSERT_TRUE((*app)->init().is_ok());
+  ASSERT_TRUE((*app)->run_until(clock, 5.0).is_ok());
+  EXPECT_GE(clock.now(), 5.0);
+  auto* kernel = static_cast<ScriptedKernel*>(app->get());
+  EXPECT_GT(kernel->iterations(), 5u);
+}
+
+TEST(ScriptedKernelTest, StaticAppsHaveConstantFootprint) {
+  ExplicitEngine engine;
+  sim::VirtualClock clock;
+  auto app = make_app("sweep3d", small_config(), engine, clock);
+  ASSERT_TRUE(app.is_ok());
+  ASSERT_TRUE((*app)->init().is_ok());
+  std::size_t fp0 = (*app)->footprint_bytes();
+  for (int i = 0; i < 3; ++i) ASSERT_TRUE((*app)->iterate().is_ok());
+  EXPECT_EQ((*app)->footprint_bytes(), fp0);
+}
+
+TEST(ScriptedKernelTest, SageFootprintFollowsAmrWave) {
+  ExplicitEngine engine;
+  sim::VirtualClock clock;
+  AppConfig cfg = small_config();
+  auto app = make_app("sage-100", cfg, engine, clock);
+  ASSERT_TRUE(app.is_ok());
+  ASSERT_TRUE((*app)->init().is_ok());
+  std::vector<std::size_t> footprints;
+  for (int i = 0; i < 7; ++i) {
+    ASSERT_TRUE((*app)->iterate().is_ok());
+    footprints.push_back((*app)->footprint_bytes());
+  }
+  auto [mn, mx] = std::minmax_element(footprints.begin(), footprints.end());
+  EXPECT_GT(*mx, *mn);  // footprint oscillates
+  // Amplitude: max/min should reflect the fill wave (1.0 vs 0.632).
+  EXPECT_GT(static_cast<double>(*mx) / static_cast<double>(*mn), 1.2);
+}
+
+TEST(ScriptedKernelTest, ParityPhasesAlternate) {
+  // FT writes buffer A on even iterations, buffer B on odd.
+  ExplicitEngine engine;
+  sim::VirtualClock clock;
+  auto app = make_app("ft", small_config(), engine, clock);
+  ASSERT_TRUE(app.is_ok());
+  ASSERT_TRUE((*app)->init().is_ok());
+
+  auto iterate_and_collect = [&]() {
+    EXPECT_TRUE(engine.arm().is_ok());
+    EXPECT_TRUE((*app)->iterate().is_ok());
+    auto snap = engine.collect(false);
+    EXPECT_TRUE(snap.is_ok());
+    // Return the set of dirty page indices of the (single) region.
+    std::set<std::uint32_t> pages;
+    for (const auto& r : snap->regions) {
+      pages.insert(r.dirty_pages.begin(), r.dirty_pages.end());
+    }
+    return pages;
+  };
+  auto even = iterate_and_collect();
+  auto odd = iterate_and_collect();
+  auto even2 = iterate_and_collect();
+  EXPECT_EQ(even, even2);  // same parity -> same pages
+  EXPECT_NE(even, odd);    // opposite parity -> different buffer
+}
+
+TEST(ScriptedKernelTest, DeterministicAcrossRuns) {
+  auto run_once = [] {
+    ExplicitEngine engine;
+    sim::VirtualClock clock;
+    AppConfig cfg;
+    cfg.footprint_scale = 1.0 / 64.0;
+    cfg.seed = 1234;
+    auto app = make_app("sage-50", cfg, engine, clock);
+    EXPECT_TRUE(app.is_ok());
+    EXPECT_TRUE((*app)->init().is_ok());
+    std::vector<std::size_t> footprints;
+    for (int i = 0; i < 4; ++i) {
+      EXPECT_TRUE((*app)->iterate().is_ok());
+      footprints.push_back((*app)->footprint_bytes());
+    }
+    return footprints;
+  };
+  EXPECT_EQ(run_once(), run_once());
+}
+
+TEST(ScriptedKernelTest, WriteLogicalTouchesTrackedMemory) {
+  ExplicitEngine engine;
+  sim::VirtualClock clock;
+  auto app = make_app("lu", small_config(), engine, clock);
+  ASSERT_TRUE(app.is_ok());
+  ASSERT_TRUE((*app)->init().is_ok());
+  ASSERT_TRUE(engine.arm().is_ok());
+  auto* kernel = static_cast<ScriptedKernel*>(app->get());
+  kernel->write_logical(0, 3 * page_size());
+  auto snap = engine.collect(false);
+  ASSERT_TRUE(snap.is_ok());
+  EXPECT_EQ(snap->dirty_pages(), 3u);
+}
+
+TEST(ScriptedKernelTest, CommPhaseStretchesWithRankCount) {
+  // §6.4.2's mechanism: the communication phase grows ~log2(P), so the
+  // period grows slightly and per-rank IB drops slightly.
+  auto period_at = [](int nprocs) {
+    ExplicitEngine engine;
+    sim::VirtualClock clock;
+    AppConfig cfg;
+    cfg.footprint_scale = 1.0 / 64.0;
+    cfg.nprocs = nprocs;
+    auto app = make_app("sage-50", cfg, engine, clock);
+    EXPECT_TRUE(app.is_ok());
+    return (*app)->period();
+  };
+  double p8 = period_at(8);
+  double p64 = period_at(64);
+  EXPECT_GT(p64, p8);
+  EXPECT_LT(p64, 1.2 * p8);  // "slightly": a few percent, not 2x
+  // Static NAS apps do not stretch.
+  ExplicitEngine engine;
+  sim::VirtualClock clock;
+  AppConfig cfg;
+  cfg.footprint_scale = 1.0 / 64.0;
+  cfg.nprocs = 64;
+  auto bt = make_app("bt", cfg, engine, clock);
+  ASSERT_TRUE(bt.is_ok());
+  EXPECT_NEAR((*bt)->period(), 0.4, 1e-9);
+}
+
+TEST(ScriptedKernelTest, UnknownAppFails) {
+  ExplicitEngine engine;
+  sim::VirtualClock clock;
+  EXPECT_FALSE(make_app("quantum-chromodynamics", small_config(), engine,
+                        clock)
+                   .is_ok());
+}
+
+}  // namespace
+}  // namespace ickpt::apps

@@ -1,0 +1,109 @@
+#include "storage/async_writer.h"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+
+namespace ickpt::storage {
+namespace {
+
+std::vector<std::byte> payload(std::size_t n, std::byte fill) {
+  return std::vector<std::byte>(n, fill);
+}
+
+TEST(AsyncWriterTest, WritesReachBackend) {
+  auto backend = make_memory_backend();
+  {
+    AsyncWriter writer(*backend);
+    ASSERT_TRUE(writer.submit("a", payload(100, std::byte{1})).is_ok());
+    ASSERT_TRUE(writer.submit("b", payload(200, std::byte{2})).is_ok());
+    ASSERT_TRUE(writer.flush().is_ok());
+    EXPECT_EQ(writer.objects_written(), 2u);
+    EXPECT_EQ(writer.bytes_written(), 300u);
+  }
+  EXPECT_TRUE(backend->exists("a"));
+  EXPECT_TRUE(backend->exists("b"));
+  auto r = backend->open("b");
+  ASSERT_TRUE(r.is_ok());
+  EXPECT_EQ((*r)->size(), 200u);
+}
+
+TEST(AsyncWriterTest, DestructorDrainsQueue) {
+  auto backend = make_memory_backend();
+  {
+    AsyncWriter writer(*backend);
+    for (int i = 0; i < 20; ++i) {
+      ASSERT_TRUE(writer
+                      .submit("k" + std::to_string(i),
+                              payload(1000, std::byte{9}))
+                      .is_ok());
+    }
+    ASSERT_TRUE(writer.flush().is_ok());
+  }
+  auto keys = backend->list();
+  ASSERT_TRUE(keys.is_ok());
+  EXPECT_EQ(keys->size(), 20u);
+}
+
+TEST(AsyncWriterTest, BackpressureBlocksThenDrains) {
+  auto backend = make_memory_backend();
+  AsyncWriter::Options opts;
+  opts.max_queued_bytes = 1000;
+  AsyncWriter writer(*backend, opts);
+  // Many objects larger than the queue in aggregate: submit must
+  // block-and-drain, not fail.
+  for (int i = 0; i < 50; ++i) {
+    ASSERT_TRUE(writer
+                    .submit("k" + std::to_string(i),
+                            payload(400, std::byte{3}))
+                    .is_ok());
+  }
+  ASSERT_TRUE(writer.flush().is_ok());
+  EXPECT_EQ(writer.objects_written(), 50u);
+  EXPECT_EQ(writer.queued_bytes(), 0u);
+}
+
+TEST(AsyncWriterTest, OversizedObjectStillAdmitted) {
+  auto backend = make_memory_backend();
+  AsyncWriter::Options opts;
+  opts.max_queued_bytes = 10;
+  AsyncWriter writer(*backend, opts);
+  ASSERT_TRUE(writer.submit("big", payload(10000, std::byte{1})).is_ok());
+  ASSERT_TRUE(writer.flush().is_ok());
+  EXPECT_EQ(writer.objects_written(), 1u);
+}
+
+TEST(AsyncWriterTest, BackendErrorSurfacesOnFlush) {
+  auto inner = make_memory_backend();
+  FaultyBackend faulty(*inner, /*fail_after_bytes=*/50);
+  AsyncWriter writer(faulty);
+  ASSERT_TRUE(writer.submit("a", payload(40, std::byte{1})).is_ok());
+  ASSERT_TRUE(writer.submit("b", payload(40, std::byte{1})).is_ok());
+  Status st = writer.flush();
+  EXPECT_EQ(st.code(), ErrorCode::kIoError);
+  // Later submissions fail fast.
+  EXPECT_FALSE(writer.submit("c", payload(1, std::byte{1})).is_ok());
+}
+
+TEST(AsyncWriterTest, ConcurrentProducers) {
+  auto backend = make_memory_backend();
+  AsyncWriter writer(*backend);
+  std::vector<std::thread> producers;
+  for (int t = 0; t < 4; ++t) {
+    producers.emplace_back([&writer, t] {
+      for (int i = 0; i < 25; ++i) {
+        ASSERT_TRUE(writer
+                        .submit("t" + std::to_string(t) + "_" +
+                                    std::to_string(i),
+                                payload(64, std::byte{7}))
+                        .is_ok());
+      }
+    });
+  }
+  for (auto& p : producers) p.join();
+  ASSERT_TRUE(writer.flush().is_ok());
+  EXPECT_EQ(writer.objects_written(), 100u);
+}
+
+}  // namespace
+}  // namespace ickpt::storage

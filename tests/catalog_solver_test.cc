@@ -1,0 +1,107 @@
+// Sanity of the calibration solver in apps/catalog.cc: the derived
+// spike/hot/cold constants must be physically meaningful for every
+// Sage configuration, and the phase structures must respect the
+// footprint geometry.
+#include <gtest/gtest.h>
+
+#include "apps/catalog.h"
+
+namespace ickpt::apps {
+namespace {
+
+const Phase* find_kind(const KernelSpec& spec, Phase::Kind kind) {
+  for (const auto& p : spec.phases) {
+    if (p.kind == kind) return &p;
+  }
+  return nullptr;
+}
+
+TEST(CatalogSolverTest, SageConstantsArePhysical) {
+  for (const char* name :
+       {"sage-1000", "sage-500", "sage-100", "sage-50"}) {
+    auto spec = find_spec(name);
+    ASSERT_TRUE(spec.is_ok()) << name;
+    auto t = paper_targets(name).value();
+    const double active = t.overwrite_frac * 0.816 * t.footprint_max_mb;
+
+    const Phase* spike = find_kind(*spec, Phase::Kind::kSweep);
+    const Phase* burst = find_kind(*spec, Phase::Kind::kHotCold);
+    const Phase* comm = find_kind(*spec, Phase::Kind::kComm);
+    ASSERT_NE(spike, nullptr) << name;
+    ASSERT_NE(burst, nullptr) << name;
+    ASSERT_NE(comm, nullptr) << name;
+
+    // Spike fits in the active set and is positive.
+    EXPECT_GT(spike->segment.len_mb, 0) << name;
+    EXPECT_LE(spike->segment.len_mb, active + 1e-9) << name;
+    // Hot region positive and below the active set.
+    EXPECT_GT(burst->hot_mb, 0) << name;
+    EXPECT_LT(burst->hot_mb, active) << name;
+    // Cold range covers [hot, active).
+    EXPECT_NEAR(burst->cold_range.offset_mb, burst->hot_mb, 1e-9) << name;
+    EXPECT_NEAR(burst->cold_range.offset_mb + burst->cold_range.len_mb,
+                active, 1e-6)
+        << name;
+    // Cold rate positive and able to cover the cold range within one
+    // iteration (the union-equals-active-set floor).
+    EXPECT_GT(burst->cold_rate_mb_s, 0) << name;
+    EXPECT_GE(burst->cold_rate_mb_s * burst->duration,
+              burst->cold_range.len_mb - 1e-6)
+        << name;
+    // Phase times: spike + burst + comm ~ the period.
+    EXPECT_NEAR(spike->duration + burst->duration + comm->duration,
+                t.period_s, 0.01 * t.period_s)
+        << name;
+  }
+}
+
+TEST(CatalogSolverTest, ParityPairsCoverBothParities) {
+  // Every parity-gated phase must have a counterpart of the opposite
+  // parity with the same duration, or the period would alternate.
+  for (const char* name : {"ft", "sweep3d", "sp", "lu", "bt"}) {
+    auto spec = find_spec(name);
+    ASSERT_TRUE(spec.is_ok());
+    double even = 0, odd = 0;
+    for (const auto& p : spec->phases) {
+      if (p.parity == 0) even += p.duration;
+      if (p.parity == 1) odd += p.duration;
+    }
+    EXPECT_NEAR(even, odd, 1e-9) << name;
+  }
+}
+
+TEST(CatalogSolverTest, SegmentsStayInsideFootprint) {
+  for (const auto& name : catalog_names()) {
+    auto spec = find_spec(name);
+    ASSERT_TRUE(spec.is_ok());
+    for (const auto& p : spec->phases) {
+      if (p.kind == Phase::Kind::kSweep) {
+        EXPECT_LE(p.segment.offset_mb + p.segment.len_mb,
+                  spec->footprint_mb + 1e-6)
+            << name;
+      }
+      if (p.kind == Phase::Kind::kHotCold) {
+        EXPECT_LE(p.cold_range.offset_mb + p.cold_range.len_mb,
+                  spec->footprint_mb + 1e-6)
+            << name;
+      }
+      EXPECT_GE(p.duration, 0) << name;
+    }
+  }
+}
+
+TEST(CatalogSolverTest, CommGrowthOnlyForSage) {
+  for (const auto& name : catalog_names()) {
+    auto spec = find_spec(name);
+    ASSERT_TRUE(spec.is_ok());
+    if (name.rfind("sage", 0) == 0) {
+      EXPECT_GT(spec->comm_growth_per_log2p, 0) << name;
+      EXPECT_TRUE(spec->dynamic) << name;
+    } else {
+      EXPECT_FALSE(spec->dynamic) << name;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace ickpt::apps

@@ -1,0 +1,82 @@
+#include "common/arena.h"
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <utility>
+
+namespace ickpt {
+namespace {
+
+TEST(ArenaTest, DefaultIsEmpty) {
+  PageArena a;
+  EXPECT_TRUE(a.empty());
+  EXPECT_EQ(a.size(), 0u);
+  EXPECT_EQ(a.data(), nullptr);
+}
+
+TEST(ArenaTest, AllocatesPageAligned) {
+  PageArena a(1000);
+  EXPECT_FALSE(a.empty());
+  EXPECT_EQ(a.size(), page_size());
+  EXPECT_EQ(reinterpret_cast<std::uintptr_t>(a.data()) % page_size(), 0u);
+}
+
+TEST(ArenaTest, ZeroFilled) {
+  PageArena a(3 * page_size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    ASSERT_EQ(a.data()[i], std::byte{0}) << "at offset " << i;
+  }
+}
+
+TEST(ArenaTest, WritableAndReadable) {
+  PageArena a(2 * page_size());
+  std::memset(a.data(), 0xAB, a.size());
+  EXPECT_EQ(a.data()[0], std::byte{0xAB});
+  EXPECT_EQ(a.data()[a.size() - 1], std::byte{0xAB});
+}
+
+TEST(ArenaTest, MoveTransfersOwnership) {
+  PageArena a(page_size());
+  std::byte* p = a.data();
+  PageArena b(std::move(a));
+  EXPECT_EQ(b.data(), p);
+  EXPECT_TRUE(a.empty());  // NOLINT(bugprone-use-after-move)
+
+  PageArena c;
+  c = std::move(b);
+  EXPECT_EQ(c.data(), p);
+  EXPECT_TRUE(b.empty());  // NOLINT(bugprone-use-after-move)
+}
+
+TEST(ArenaTest, RangeMatchesSpan) {
+  PageArena a(4 * page_size());
+  PageRange r = a.range();
+  EXPECT_EQ(r.begin, reinterpret_cast<std::uintptr_t>(a.data()));
+  EXPECT_EQ(r.bytes(), a.size());
+  EXPECT_EQ(r.pages(), 4u);
+}
+
+TEST(ArenaTest, ResetReleases) {
+  PageArena a(page_size());
+  a.reset();
+  EXPECT_TRUE(a.empty());
+  a.reset();  // idempotent
+  EXPECT_TRUE(a.empty());
+}
+
+TEST(ArenaTest, PrefaultTouchesEveryPage) {
+  PageArena a(8 * page_size());
+  a.prefault();  // must not crash; pages stay zero
+  for (std::size_t off = 0; off < a.size(); off += page_size()) {
+    EXPECT_EQ(a.data()[off], std::byte{0});
+  }
+}
+
+TEST(ArenaTest, ZeroBytesYieldsEmpty) {
+  PageArena a(0);
+  EXPECT_TRUE(a.empty());
+}
+
+}  // namespace
+}  // namespace ickpt

@@ -1,0 +1,59 @@
+#include "common/crc32.h"
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+
+namespace ickpt {
+namespace {
+
+std::span<const std::byte> as_bytes(const char* s) {
+  return {reinterpret_cast<const std::byte*>(s), std::strlen(s)};
+}
+
+TEST(Crc32Test, KnownVectors) {
+  // Standard IEEE CRC-32 check values.
+  EXPECT_EQ(crc32(as_bytes("123456789")), 0xCBF43926u);
+  EXPECT_EQ(crc32(as_bytes("")), 0x00000000u);
+  EXPECT_EQ(crc32(as_bytes("a")), 0xE8B7BE43u);
+  EXPECT_EQ(crc32(as_bytes("The quick brown fox jumps over the lazy dog")),
+            0x414FA339u);
+}
+
+TEST(Crc32Test, IncrementalEqualsOneShot) {
+  Crc32 inc;
+  inc.update(as_bytes("1234"));
+  inc.update(as_bytes("56789"));
+  EXPECT_EQ(inc.value(), crc32(as_bytes("123456789")));
+}
+
+TEST(Crc32Test, ValueIsIdempotent) {
+  Crc32 c;
+  c.update(as_bytes("data"));
+  auto v1 = c.value();
+  auto v2 = c.value();
+  EXPECT_EQ(v1, v2);
+  c.update(as_bytes("more"));
+  EXPECT_NE(c.value(), v1);
+}
+
+TEST(Crc32Test, ResetStartsOver) {
+  Crc32 c;
+  c.update(as_bytes("junk"));
+  c.reset();
+  c.update(as_bytes("123456789"));
+  EXPECT_EQ(c.value(), 0xCBF43926u);
+}
+
+TEST(Crc32Test, SingleBitFlipChangesValue) {
+  std::vector<std::byte> data(4096, std::byte{0x7f});
+  auto base = crc32(data);
+  for (std::size_t pos : {0u, 2048u, 4095u}) {
+    data[pos] ^= std::byte{0x01};
+    EXPECT_NE(crc32(data), base) << "flip at " << pos;
+    data[pos] ^= std::byte{0x01};
+  }
+}
+
+}  // namespace
+}  // namespace ickpt

@@ -1,0 +1,52 @@
+#include "common/log.h"
+
+#include <gtest/gtest.h>
+
+namespace ickpt {
+namespace {
+
+TEST(LogTest, DefaultLevelIsWarn) {
+  // Note: other tests may have altered the level; set explicitly.
+  set_log_level(LogLevel::kWarn);
+  EXPECT_EQ(log_level(), LogLevel::kWarn);
+}
+
+TEST(LogTest, SetAndGetRoundTrip) {
+  for (LogLevel level : {LogLevel::kDebug, LogLevel::kInfo, LogLevel::kWarn,
+                         LogLevel::kError, LogLevel::kOff}) {
+    set_log_level(level);
+    EXPECT_EQ(log_level(), level);
+  }
+  set_log_level(LogLevel::kWarn);
+}
+
+TEST(LogTest, MacroRespectsLevel) {
+  // Below-threshold messages must not evaluate their stream arguments.
+  set_log_level(LogLevel::kError);
+  int evaluations = 0;
+  auto expensive = [&evaluations] {
+    ++evaluations;
+    return "payload";
+  };
+  ICKPT_LOG(kDebug) << expensive();
+  ICKPT_LOG(kInfo) << expensive();
+  EXPECT_EQ(evaluations, 0);
+  ICKPT_LOG(kError) << "error path runs (" << expensive() << ")";
+  EXPECT_EQ(evaluations, 1);
+  set_log_level(LogLevel::kWarn);
+}
+
+TEST(LogTest, OffSilencesEverything) {
+  set_log_level(LogLevel::kOff);
+  int evaluations = 0;
+  auto expensive = [&evaluations] {
+    ++evaluations;
+    return 0;
+  };
+  ICKPT_LOG(kError) << expensive();
+  EXPECT_EQ(evaluations, 0);
+  set_log_level(LogLevel::kWarn);
+}
+
+}  // namespace
+}  // namespace ickpt

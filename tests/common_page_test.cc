@@ -1,0 +1,75 @@
+#include "common/page.h"
+
+#include <gtest/gtest.h>
+
+namespace ickpt {
+namespace {
+
+TEST(PageTest, PageSizeIsPowerOfTwo) {
+  std::size_t p = page_size();
+  EXPECT_GT(p, 0u);
+  EXPECT_EQ(p & (p - 1), 0u);
+  EXPECT_EQ(std::size_t{1} << page_shift(), p);
+}
+
+TEST(PageTest, FloorAndCeil) {
+  std::size_t p = page_size();
+  EXPECT_EQ(page_floor(0), 0u);
+  EXPECT_EQ(page_ceil(0), 0u);
+  EXPECT_EQ(page_floor(1), 0u);
+  EXPECT_EQ(page_ceil(1), p);
+  EXPECT_EQ(page_floor(p), p);
+  EXPECT_EQ(page_ceil(p), p);
+  EXPECT_EQ(page_floor(p + 1), p);
+  EXPECT_EQ(page_ceil(p + 1), 2 * p);
+}
+
+TEST(PageTest, PagesFor) {
+  std::size_t p = page_size();
+  EXPECT_EQ(pages_for(0), 0u);
+  EXPECT_EQ(pages_for(1), 1u);
+  EXPECT_EQ(pages_for(p), 1u);
+  EXPECT_EQ(pages_for(p + 1), 2u);
+  EXPECT_EQ(pages_for(10 * p), 10u);
+}
+
+TEST(PageTest, RangeContainsAndOverlaps) {
+  std::size_t p = page_size();
+  PageRange a{0, 4 * p};
+  PageRange b{4 * p, 8 * p};
+  PageRange c{2 * p, 6 * p};
+  EXPECT_TRUE(a.contains(0));
+  EXPECT_TRUE(a.contains(4 * p - 1));
+  EXPECT_FALSE(a.contains(4 * p));
+  EXPECT_FALSE(a.overlaps(b));
+  EXPECT_TRUE(a.overlaps(c));
+  EXPECT_TRUE(b.overlaps(c));
+  EXPECT_EQ(a.pages(), 4u);
+  EXPECT_EQ(a.bytes(), 4 * p);
+}
+
+TEST(PageTest, RangeCovering) {
+  std::size_t p = page_size();
+  alignas(64) static char buf[1];
+  PageRange r = page_range_covering(buf, 1);
+  EXPECT_EQ(r.begin % p, 0u);
+  EXPECT_EQ(r.end % p, 0u);
+  EXPECT_EQ(r.pages(), 1u);
+  EXPECT_TRUE(r.contains(reinterpret_cast<std::uintptr_t>(buf)));
+}
+
+TEST(PageTest, RangeCoveringSpansTwoPages) {
+  std::size_t p = page_size();
+  PageRange r = page_range_covering(reinterpret_cast<void*>(p - 1), 2);
+  EXPECT_EQ(r.begin, 0u);
+  EXPECT_EQ(r.end, 2 * p);
+}
+
+TEST(PageTest, EmptyRange) {
+  PageRange r{100, 100};
+  EXPECT_TRUE(r.empty());
+  EXPECT_EQ(r.bytes(), 0u);
+}
+
+}  // namespace
+}  // namespace ickpt

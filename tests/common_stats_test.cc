@@ -1,0 +1,79 @@
+#include "common/stats.h"
+
+#include <gtest/gtest.h>
+
+namespace ickpt {
+namespace {
+
+TEST(StatsTest, EmptyIsZero) {
+  SummaryStats s;
+  EXPECT_TRUE(s.empty());
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_EQ(s.min(), 0.0);
+  EXPECT_EQ(s.max(), 0.0);
+  EXPECT_EQ(s.mean(), 0.0);
+}
+
+TEST(StatsTest, SingleSample) {
+  SummaryStats s;
+  s.add(5.0);
+  EXPECT_EQ(s.count(), 1u);
+  EXPECT_EQ(s.min(), 5.0);
+  EXPECT_EQ(s.max(), 5.0);
+  EXPECT_EQ(s.mean(), 5.0);
+  EXPECT_EQ(s.variance(), 0.0);
+}
+
+TEST(StatsTest, KnownSequence) {
+  SummaryStats s;
+  for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.add(x);
+  EXPECT_EQ(s.count(), 8u);
+  EXPECT_EQ(s.min(), 2.0);
+  EXPECT_EQ(s.max(), 9.0);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_NEAR(s.stddev(), 2.138, 1e-3);  // sample stddev
+}
+
+TEST(StatsTest, SkipFirstDiscardsWarmup) {
+  // Mirrors the paper's methodology: "omitting the first [run] because
+  // the first experiment takes considerably longer" (Section 5).
+  SummaryStats s(/*skip_first=*/2);
+  s.add(1000.0);  // warm-up spikes
+  s.add(900.0);
+  s.add(10.0);
+  s.add(20.0);
+  EXPECT_EQ(s.skipped(), 2u);
+  EXPECT_EQ(s.count(), 2u);
+  EXPECT_EQ(s.max(), 20.0);
+  EXPECT_DOUBLE_EQ(s.mean(), 15.0);
+}
+
+TEST(StatsTest, NegativeValues) {
+  SummaryStats s;
+  s.add(-3.0);
+  s.add(3.0);
+  EXPECT_EQ(s.min(), -3.0);
+  EXPECT_EQ(s.max(), 3.0);
+  EXPECT_DOUBLE_EQ(s.mean(), 0.0);
+}
+
+TEST(StatsTest, ResetClearsEverything) {
+  SummaryStats s;
+  s.add(1.0);
+  s.add(2.0);
+  s.reset();
+  EXPECT_TRUE(s.empty());
+  s.add(10.0);
+  EXPECT_EQ(s.mean(), 10.0);
+  EXPECT_EQ(s.count(), 1u);
+}
+
+TEST(StatsTest, MeanIsStableForManySamples) {
+  SummaryStats s;
+  for (int i = 0; i < 100000; ++i) s.add(7.5);
+  EXPECT_DOUBLE_EQ(s.mean(), 7.5);
+  EXPECT_NEAR(s.variance(), 0.0, 1e-12);
+}
+
+}  // namespace
+}  // namespace ickpt

@@ -1,0 +1,79 @@
+#include "common/status.h"
+
+#include <gtest/gtest.h>
+
+namespace ickpt {
+namespace {
+
+TEST(StatusTest, DefaultIsOk) {
+  Status s;
+  EXPECT_TRUE(s.is_ok());
+  EXPECT_TRUE(static_cast<bool>(s));
+  EXPECT_EQ(s.code(), ErrorCode::kOk);
+  EXPECT_EQ(s.to_string(), "OK");
+}
+
+TEST(StatusTest, ErrorCarriesCodeAndMessage) {
+  Status s = io_error("disk on fire");
+  EXPECT_FALSE(s.is_ok());
+  EXPECT_EQ(s.code(), ErrorCode::kIoError);
+  EXPECT_EQ(s.message(), "disk on fire");
+  EXPECT_EQ(s.to_string(), "IO_ERROR: disk on fire");
+}
+
+TEST(StatusTest, AllCodesHaveNames) {
+  for (int c = 0; c <= static_cast<int>(ErrorCode::kInternal); ++c) {
+    EXPECT_NE(to_string(static_cast<ErrorCode>(c)), "UNKNOWN");
+  }
+}
+
+TEST(ResultTest, HoldsValue) {
+  Result<int> r = 42;
+  ASSERT_TRUE(r.is_ok());
+  EXPECT_EQ(r.value(), 42);
+  EXPECT_EQ(*r, 42);
+  EXPECT_TRUE(r.status().is_ok());
+}
+
+TEST(ResultTest, HoldsError) {
+  Result<int> r = not_found("nope");
+  ASSERT_FALSE(r.is_ok());
+  EXPECT_EQ(r.status().code(), ErrorCode::kNotFound);
+}
+
+TEST(ResultTest, MoveOutValue) {
+  Result<std::string> r = std::string("payload");
+  std::string v = std::move(r).value();
+  EXPECT_EQ(v, "payload");
+}
+
+Status helper_returning_error() {
+  ICKPT_RETURN_IF_ERROR(invalid_argument("bad"));
+  return internal_error("unreachable");
+}
+
+TEST(StatusTest, ReturnIfErrorMacro) {
+  Status s = helper_returning_error();
+  EXPECT_EQ(s.code(), ErrorCode::kInvalidArgument);
+}
+
+Status helper_assign_or_return(bool fail, int* out) {
+  auto make = [&]() -> Result<int> {
+    if (fail) return failed_precondition("no value");
+    return 7;
+  };
+  ICKPT_ASSIGN_OR_RETURN(v, make());
+  *out = v;
+  return Status::ok();
+}
+
+TEST(StatusTest, AssignOrReturnMacro) {
+  int out = 0;
+  EXPECT_TRUE(helper_assign_or_return(false, &out).is_ok());
+  EXPECT_EQ(out, 7);
+  EXPECT_EQ(helper_assign_or_return(true, &out).code(),
+            ErrorCode::kFailedPrecondition);
+}
+
+}  // namespace
+}  // namespace ickpt

@@ -1,0 +1,83 @@
+#include "common/table.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "common/units.h"
+
+namespace ickpt {
+namespace {
+
+TEST(TableTest, PrintsAlignedColumns) {
+  TextTable t("Demo");
+  t.set_header({"Application", "MB"});
+  t.add_row({"Sage-1000MB", "954.6"});
+  t.add_row({"LU", "16.6"});
+  std::ostringstream os;
+  t.print(os);
+  std::string out = os.str();
+  EXPECT_NE(out.find("== Demo =="), std::string::npos);
+  EXPECT_NE(out.find("Sage-1000MB"), std::string::npos);
+  EXPECT_NE(out.find("Application"), std::string::npos);
+}
+
+TEST(TableTest, NumFormatsPrecision) {
+  EXPECT_EQ(TextTable::num(78.84, 1), "78.8");
+  EXPECT_EQ(TextTable::num(78.86, 1), "78.9");
+  EXPECT_EQ(TextTable::num(3.0, 0), "3");
+  EXPECT_EQ(TextTable::num(0.1234, 3), "0.123");
+}
+
+TEST(TableTest, CsvRoundTrip) {
+  TextTable t("csv");
+  t.set_header({"a", "b"});
+  t.add_row({"1", "hello, world"});
+  t.add_row({"2", "quote\"inside"});
+  std::string path = ::testing::TempDir() + "/table_test.csv";
+  ASSERT_TRUE(t.write_csv(path));
+  std::ifstream in(path);
+  std::string line;
+  std::getline(in, line);
+  EXPECT_EQ(line, "a,b");
+  std::getline(in, line);
+  EXPECT_EQ(line, "1,\"hello, world\"");
+  std::getline(in, line);
+  EXPECT_EQ(line, "2,\"quote\"\"inside\"");
+  std::remove(path.c_str());
+}
+
+TEST(TableTest, CsvEscape) {
+  EXPECT_EQ(csv_escape("plain"), "plain");
+  EXPECT_EQ(csv_escape("a,b"), "\"a,b\"");
+  EXPECT_EQ(csv_escape("a\"b"), "\"a\"\"b\"");
+  EXPECT_EQ(csv_escape("a\nb"), "\"a\nb\"");
+}
+
+TEST(TableTest, CsvWriteFailsOnBadPath) {
+  TextTable t("x");
+  t.set_header({"a"});
+  EXPECT_FALSE(t.write_csv("/nonexistent-dir-xyz/file.csv"));
+}
+
+TEST(UnitsTest, FormatBytes) {
+  EXPECT_EQ(format_bytes(512), "512 B");
+  EXPECT_EQ(format_bytes(2 * kKB), "2.00 KB");
+  EXPECT_EQ(format_bytes(954 * kMB + 629146), "955 MB");  // rounds 954.6
+  EXPECT_EQ(format_bytes(3 * kGB), "3.00 GB");
+}
+
+TEST(UnitsTest, MbConversionsRoundTrip) {
+  EXPECT_DOUBLE_EQ(to_mb(from_mb(105.5)), 105.5);
+  EXPECT_EQ(from_mb(1.0), kMB);
+  EXPECT_DOUBLE_EQ(to_mb(kGB), 1024.0);
+}
+
+TEST(UnitsTest, FormatBandwidthClampsNegative) {
+  EXPECT_EQ(format_bandwidth(-5.0), "0.00 B/s");
+}
+
+}  // namespace
+}  // namespace ickpt

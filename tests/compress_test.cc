@@ -1,0 +1,163 @@
+// Page encodings: zero elision, word RLE, plain fallback, and the
+// end-to-end effect on checkpoint size.
+#include "checkpoint/compress.h"
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+
+#include "checkpoint/checkpointer.h"
+#include "checkpoint/restore.h"
+#include "common/page.h"
+#include "common/rng.h"
+#include "memtrack/explicit_engine.h"
+#include "region/address_space.h"
+#include "storage/backend.h"
+
+namespace ickpt::checkpoint {
+namespace {
+
+std::vector<std::byte> make_page(std::byte fill) {
+  return std::vector<std::byte>(page_size(), fill);
+}
+
+TEST(CompressTest, ZeroPageDetection) {
+  auto page = make_page(std::byte{0});
+  EXPECT_TRUE(is_zero_page(page));
+  page[page.size() - 1] = std::byte{1};
+  EXPECT_FALSE(is_zero_page(page));
+  page[page.size() - 1] = std::byte{0};
+  page[0] = std::byte{1};
+  EXPECT_FALSE(is_zero_page(page));
+}
+
+TEST(CompressTest, ZeroPageEncodesToNothing) {
+  auto page = make_page(std::byte{0});
+  std::vector<std::byte> out;
+  EXPECT_EQ(encode_page(page, out), PageEncoding::kZero);
+  EXPECT_TRUE(out.empty());
+
+  std::vector<std::byte> decoded(page_size(), std::byte{0x55});
+  ASSERT_TRUE(decode_page(PageEncoding::kZero, out, decoded).is_ok());
+  EXPECT_TRUE(is_zero_page(decoded));
+}
+
+TEST(CompressTest, ConstantPageUsesRle) {
+  auto page = make_page(std::byte{0x42});
+  std::vector<std::byte> out;
+  EXPECT_EQ(encode_page(page, out), PageEncoding::kRle);
+  EXPECT_EQ(out.size(), 16u);  // one (count, word) pair
+
+  std::vector<std::byte> decoded(page_size());
+  ASSERT_TRUE(decode_page(PageEncoding::kRle, out, decoded).is_ok());
+  EXPECT_EQ(std::memcmp(decoded.data(), page.data(), page.size()), 0);
+}
+
+TEST(CompressTest, StructuredPageRoundTrips) {
+  // A few constant runs: typical of initialized coordinate arrays.
+  std::vector<std::byte> page(page_size());
+  auto* words = reinterpret_cast<std::uint64_t*>(page.data());
+  std::size_t n = page.size() / 8;
+  for (std::size_t i = 0; i < n; ++i) words[i] = i / 64;
+
+  std::vector<std::byte> out;
+  auto enc = encode_page(page, out);
+  EXPECT_EQ(enc, PageEncoding::kRle);
+  EXPECT_LT(out.size(), page.size() / 2);
+
+  std::vector<std::byte> decoded(page_size());
+  ASSERT_TRUE(decode_page(enc, out, decoded).is_ok());
+  EXPECT_EQ(std::memcmp(decoded.data(), page.data(), page.size()), 0);
+}
+
+TEST(CompressTest, RandomPageFallsBackToPlain) {
+  std::vector<std::byte> page(page_size());
+  Rng rng(7);
+  for (auto& b : page) b = static_cast<std::byte>(rng.next_u64());
+  std::vector<std::byte> out;
+  EXPECT_EQ(encode_page(page, out), PageEncoding::kPlain);
+  EXPECT_EQ(out.size(), page.size());
+
+  std::vector<std::byte> decoded(page_size());
+  ASSERT_TRUE(decode_page(PageEncoding::kPlain, out, decoded).is_ok());
+  EXPECT_EQ(std::memcmp(decoded.data(), page.data(), page.size()), 0);
+}
+
+TEST(CompressTest, DecodeRejectsMalformedPayloads) {
+  std::vector<std::byte> page(page_size());
+  // Zero encoding with spurious payload.
+  std::vector<std::byte> junk(8, std::byte{1});
+  EXPECT_EQ(decode_page(PageEncoding::kZero, junk, page).code(),
+            ErrorCode::kCorruption);
+  // Plain with wrong size.
+  EXPECT_EQ(decode_page(PageEncoding::kPlain, junk, page).code(),
+            ErrorCode::kCorruption);
+  // RLE with non-multiple size.
+  std::vector<std::byte> odd(13, std::byte{1});
+  EXPECT_EQ(decode_page(PageEncoding::kRle, odd, page).code(),
+            ErrorCode::kCorruption);
+  // RLE overrunning the page.
+  struct {
+    std::uint64_t count;
+    std::uint64_t word;
+  } pair = {page_size(), 7};  // count in words > page words
+  std::vector<std::byte> overrun(16);
+  std::memcpy(overrun.data(), &pair, 16);
+  EXPECT_EQ(decode_page(PageEncoding::kRle, overrun, page).code(),
+            ErrorCode::kCorruption);
+  // RLE underfilling the page.
+  pair.count = 1;
+  std::memcpy(overrun.data(), &pair, 16);
+  EXPECT_EQ(decode_page(PageEncoding::kRle, overrun, page).code(),
+            ErrorCode::kCorruption);
+  // Unknown encoding id.
+  EXPECT_EQ(decode_page(static_cast<PageEncoding>(99), {}, page).code(),
+            ErrorCode::kCorruption);
+}
+
+TEST(CompressTest, CheckpointOfSparseBlockShrinks) {
+  memtrack::ExplicitEngine engine;
+  region::AddressSpace space(engine, "r");
+  auto block = space.map(64 * page_size(), region::AreaKind::kHeap, "b");
+  ASSERT_TRUE(block.is_ok());
+  // Touch 4 pages with noise; the rest stay zero.
+  Rng rng(3);
+  for (std::size_t p : {0u, 10u, 20u, 30u}) {
+    auto* words = reinterpret_cast<std::uint64_t*>(
+        block->mem.data() + p * page_size());
+    for (std::size_t i = 0; i < page_size() / 8; ++i) {
+      words[i] = rng.next_u64();
+    }
+  }
+  auto storage = storage::make_memory_backend();
+
+  CheckpointerOptions with;
+  Checkpointer compressed(space, *storage, with);
+  auto m1 = compressed.checkpoint_full(0.0);
+  ASSERT_TRUE(m1.is_ok());
+  EXPECT_EQ(m1->zero_pages, 60u);
+  EXPECT_LT(m1->file_bytes, 6 * page_size());
+
+  CheckpointerOptions without;
+  without.rank = 1;
+  without.compress = false;
+  Checkpointer plain(space, *storage, without);
+  auto m2 = plain.checkpoint_full(0.0);
+  ASSERT_TRUE(m2.is_ok());
+  EXPECT_GT(m2->file_bytes, 64 * page_size());
+  EXPECT_GT(m2->file_bytes, 10 * m1->file_bytes);
+
+  // Both restore to identical content.
+  auto s1 = restore_chain(*storage, 0);
+  auto s2 = restore_chain(*storage, 1);
+  ASSERT_TRUE(s1.is_ok());
+  ASSERT_TRUE(s2.is_ok());
+  const auto& d1 = s1->blocks.begin()->second.data;
+  const auto& d2 = s2->blocks.begin()->second.data;
+  ASSERT_EQ(d1.size(), d2.size());
+  EXPECT_EQ(std::memcmp(d1.data(), d2.data(), d1.size()), 0);
+  EXPECT_EQ(std::memcmp(d1.data(), block->mem.data(), d1.size()), 0);
+}
+
+}  // namespace
+}  // namespace ickpt::checkpoint

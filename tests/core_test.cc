@@ -1,0 +1,220 @@
+// Core façade: run_study configurations and the wall-clock Monitor.
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <cmath>
+#include <thread>
+
+#include "apps/catalog.h"
+#include "common/arena.h"
+#include "core/monitor.h"
+#include "core/study.h"
+
+namespace ickpt {
+namespace {
+
+TEST(StudyTest, AutoRunLength) {
+  EXPECT_DOUBLE_EQ(auto_run_length(0.16, 1.0), 40.0);   // slice-bound
+  EXPECT_DOUBLE_EQ(auto_run_length(145.0, 1.0), 580.0); // period-bound
+  EXPECT_DOUBLE_EQ(auto_run_length(145.0, 20.0), 800.0);
+  EXPECT_DOUBLE_EQ(auto_run_length(1000.0, 20.0), 1200.0);  // capped
+}
+
+TEST(StudyTest, RejectsBadConfig) {
+  StudyConfig cfg;
+  cfg.app = "no-such-app";
+  EXPECT_FALSE(run_study(cfg).is_ok());
+
+  cfg.app = "lu";
+  cfg.nprocs = 0;
+  EXPECT_FALSE(run_study(cfg).is_ok());
+
+  cfg.nprocs = 1;
+  cfg.timeslice = 0;
+  EXPECT_FALSE(run_study(cfg).is_ok());
+}
+
+TEST(StudyTest, SerialStudyProducesSamples) {
+  StudyConfig cfg;
+  cfg.app = "lu";
+  cfg.timeslice = 1.0;
+  cfg.footprint_scale = 1.0 / 64.0;
+  cfg.run_vs = 20.0;
+  auto r = run_study(cfg);
+  ASSERT_TRUE(r.is_ok()) << r.status().to_string();
+  ASSERT_EQ(r->per_rank.size(), 1u);
+  EXPECT_GE(r->per_rank[0].size(), 19u);
+  EXPECT_GT(r->ib.avg_ib, 0.0);
+  EXPECT_GT(r->iterations, 20u);
+  EXPECT_DOUBLE_EQ(r->period_s, 0.7);
+}
+
+TEST(StudyTest, ExplicitEngineWorksToo) {
+  StudyConfig cfg;
+  cfg.app = "sp";
+  cfg.engine = memtrack::EngineKind::kExplicit;
+  cfg.footprint_scale = 1.0 / 64.0;
+  cfg.run_vs = 10.0;
+  auto r = run_study(cfg);
+  ASSERT_TRUE(r.is_ok());
+  EXPECT_GT(r->ib.avg_ib, 0.0);
+}
+
+TEST(StudyTest, EnginesAgreeOnIWS) {
+  // The mprotect engine and the explicit notifications must measure
+  // the same IWS for the same deterministic kernel.
+  auto run_with = [](memtrack::EngineKind kind) {
+    StudyConfig cfg;
+    cfg.app = "bt";
+    cfg.engine = kind;
+    cfg.footprint_scale = 1.0 / 64.0;
+    cfg.run_vs = 15.0;
+    cfg.seed = 7;
+    auto r = run_study(cfg);
+    EXPECT_TRUE(r.is_ok());
+    return r->ib.avg_iws;
+  };
+  double mp = run_with(memtrack::EngineKind::kMProtect);
+  double ex = run_with(memtrack::EngineKind::kExplicit);
+  EXPECT_NEAR(mp, ex, 0.02 * mp);
+}
+
+TEST(StudyTest, MultiRankStudyTracksEveryRank) {
+  StudyConfig cfg;
+  cfg.app = "sp";
+  cfg.nprocs = 4;
+  cfg.footprint_scale = 1.0 / 64.0;
+  cfg.run_vs = 8.0;
+  auto r = run_study(cfg);
+  ASSERT_TRUE(r.is_ok()) << r.status().to_string();
+  ASSERT_EQ(r->per_rank.size(), 4u);
+  for (const auto& series : r->per_rank) {
+    EXPECT_GE(series.size(), 7u);
+  }
+  EXPECT_GT(r->mean_rank_avg_ib, 0.0);
+  // Bulk synchrony: ranks should look alike (within 15%).
+  auto s0 = analysis::compute_ib_stats(r->per_rank[0]).avg_ib;
+  auto s3 = analysis::compute_ib_stats(r->per_rank[3]).avg_ib;
+  EXPECT_NEAR(s0, s3, 0.15 * s0);
+}
+
+TEST(StudyTest, MultiRankRecordsTraffic) {
+  StudyConfig cfg;
+  cfg.app = "ft";
+  cfg.nprocs = 2;
+  cfg.footprint_scale = 1.0 / 64.0;
+  cfg.run_vs = 10.0;
+  auto r = run_study(cfg);
+  ASSERT_TRUE(r.is_ok());
+  auto traffic = analysis::compute_traffic_stats(r->per_rank[0]);
+  EXPECT_GT(traffic.total_recv, 0.0);
+}
+
+TEST(StudyTest, TrackedRanksSubset) {
+  StudyConfig cfg;
+  cfg.app = "lu";
+  cfg.nprocs = 4;
+  cfg.tracked_ranks = 1;
+  cfg.footprint_scale = 1.0 / 64.0;
+  cfg.run_vs = 5.0;
+  auto r = run_study(cfg);
+  ASSERT_TRUE(r.is_ok());
+  EXPECT_GT(r->per_rank[0].size(), 0u);
+  EXPECT_EQ(r->per_rank[1].size(), 0u);  // untracked rank: no series
+}
+
+TEST(StudyTest, IncludeInitCapturesInitializationBurst) {
+  StudyConfig cfg;
+  cfg.app = "ft";
+  cfg.footprint_scale = 1.0 / 64.0;
+  cfg.run_vs = 10.0;
+  cfg.include_init = true;
+  auto with_init = run_study(cfg);
+  ASSERT_TRUE(with_init.is_ok());
+  // Figure 1(a)'s "initial peak ... caused by data initialization":
+  // the first slice's IWS should be near the whole footprint.
+  const auto& first = with_init->per_rank[0][0];
+  EXPECT_GT(first.iws_footprint_ratio(), 0.5);
+}
+
+TEST(StudyTest, SamplePhaseShiftsBoundaries) {
+  StudyConfig cfg;
+  cfg.app = "lu";
+  cfg.engine = memtrack::EngineKind::kExplicit;
+  cfg.footprint_scale = 1.0 / 64.0;
+  cfg.run_vs = 10.0;
+  cfg.sample_phase = 0.25;
+  auto r = run_study(cfg);
+  ASSERT_TRUE(r.is_ok());
+  const auto& s = r->per_rank[0];
+  ASSERT_GE(s.size(), 2u);
+  // Boundaries land at init_end + k + 0.25.
+  double frac = s[0].t_end - std::floor(s[0].t_end);
+  EXPECT_NEAR(frac, 0.25, 1e-6);
+}
+
+TEST(StudyTest, CaptureTraceReplaysToSameIWS) {
+  StudyConfig cfg;
+  cfg.app = "sp";
+  cfg.engine = memtrack::EngineKind::kExplicit;
+  cfg.footprint_scale = 1.0 / 64.0;
+  cfg.run_vs = 8.0;
+  cfg.capture_trace = true;
+  auto r = run_study(cfg);
+  ASSERT_TRUE(r.is_ok());
+  ASSERT_GT(r->write_trace.events().size(), 0u);
+  ASSERT_GT(r->write_trace.region_pages(), 0u);
+
+  // Replaying the captured trace reproduces the measured IWS series.
+  auto tracker = memtrack::make_tracker(memtrack::EngineKind::kExplicit);
+  ASSERT_TRUE(tracker.is_ok());
+  PageArena arena(r->write_trace.region_pages() * page_size());
+  auto iws = r->write_trace.replay(**tracker, arena.span());
+  ASSERT_TRUE(iws.is_ok());
+  const auto& series = r->per_rank[0];
+  ASSERT_LE(series.size(), iws->size());
+  for (std::size_t i = 0; i < series.size(); ++i) {
+    EXPECT_EQ((*iws)[i], series[i].iws_pages) << "slice " << i;
+  }
+}
+
+// ------------------------------------------------------------- monitor
+
+TEST(MonitorTest, CreateRejectsBadTimeslice) {
+  MonitorOptions opts;
+  opts.timeslice = 0;
+  EXPECT_FALSE(Monitor::create(opts).is_ok());
+}
+
+TEST(MonitorTest, MonitorsUserMemory) {
+  MonitorOptions opts;
+  opts.timeslice = 0.05;
+  auto monitor = Monitor::create(opts);
+  ASSERT_TRUE(monitor.is_ok());
+
+  PageArena field(16 * page_size());
+  auto id = (*monitor)->attach(field.span(), "field");
+  ASSERT_TRUE(id.is_ok());
+  ASSERT_TRUE((*monitor)->start().is_ok());
+
+  auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::milliseconds(200);
+  while (std::chrono::steady_clock::now() < deadline) {
+    for (std::size_t p = 0; p < 4; ++p) {
+      field.data()[p * page_size()] = std::byte{1};
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  }
+  (*monitor)->stop();
+
+  auto stats = (*monitor)->ib_stats();
+  EXPECT_GE(stats.samples, 2u);
+  EXPECT_GT(stats.avg_iws, 0.0);
+  auto verdict = (*monitor)->feasibility();
+  EXPECT_TRUE(verdict.feasible());  // 4 pages / 50 ms is tiny
+
+  ASSERT_TRUE((*monitor)->detach(*id).is_ok());
+}
+
+}  // namespace
+}  // namespace ickpt

@@ -1,0 +1,89 @@
+#include "analysis/distribution.h"
+
+#include <gtest/gtest.h>
+
+#include "common/page.h"
+
+namespace ickpt::analysis {
+namespace {
+
+TEST(QuantileTest, EmptyAndSingle) {
+  EXPECT_DOUBLE_EQ(quantile({}, 0.5), 0.0);
+  EXPECT_DOUBLE_EQ(quantile({7.0}, 0.0), 7.0);
+  EXPECT_DOUBLE_EQ(quantile({7.0}, 1.0), 7.0);
+}
+
+TEST(QuantileTest, InterpolatesLinearly) {
+  std::vector<double> v = {0, 10, 20, 30, 40};
+  EXPECT_DOUBLE_EQ(quantile(v, 0.0), 0.0);
+  EXPECT_DOUBLE_EQ(quantile(v, 0.5), 20.0);
+  EXPECT_DOUBLE_EQ(quantile(v, 1.0), 40.0);
+  EXPECT_DOUBLE_EQ(quantile(v, 0.25), 10.0);
+  EXPECT_DOUBLE_EQ(quantile(v, 0.125), 5.0);  // midpoint of 0 and 10
+}
+
+TEST(QuantileTest, UnsortedInputHandled) {
+  EXPECT_DOUBLE_EQ(quantile({30, 0, 20, 40, 10}, 0.5), 20.0);
+}
+
+TEST(QuantileTest, ClampsOutOfRangeQ) {
+  std::vector<double> v = {1, 2, 3};
+  EXPECT_DOUBLE_EQ(quantile(v, -0.5), 1.0);
+  EXPECT_DOUBLE_EQ(quantile(v, 1.5), 3.0);
+}
+
+TEST(IbQuantilesTest, ComputesFromSeries) {
+  trace::TimeSeries ts;
+  for (int i = 0; i < 100; ++i) {
+    trace::Sample s;
+    s.index = static_cast<std::uint64_t>(i);
+    s.t_start = i;
+    s.t_end = i + 1;
+    s.iws_bytes = static_cast<std::size_t>(i + 1) * page_size();
+    ts.add(s);
+  }
+  auto q = ib_quantiles(ts);
+  EXPECT_EQ(q.samples, 100u);
+  EXPECT_NEAR(q.p50, 50.5 * static_cast<double>(page_size()),
+              static_cast<double>(page_size()));
+  EXPECT_DOUBLE_EQ(q.max, 100.0 * static_cast<double>(page_size()));
+  EXPECT_GT(q.p99, q.p90);
+  EXPECT_GT(q.p90, q.p50);
+}
+
+TEST(IbQuantilesTest, SkipFirstExcludesWarmup) {
+  trace::TimeSeries ts;
+  for (int i = 0; i < 10; ++i) {
+    trace::Sample s;
+    s.t_end = 1;
+    s.iws_bytes = (i == 0 ? 1000u : 1u) * page_size();
+    ts.add(s);
+  }
+  auto q = ib_quantiles(ts, 1);
+  EXPECT_EQ(q.samples, 9u);
+  EXPECT_DOUBLE_EQ(q.max, static_cast<double>(page_size()));
+}
+
+TEST(HistogramTest, CountsFallInRightBins) {
+  std::vector<double> v = {0, 1, 2, 3, 4, 5, 6, 7, 8, 10};
+  auto h = histogram(v, 5);
+  ASSERT_EQ(h.size(), 5u);
+  std::size_t total = 0;
+  for (const auto& bin : h) total += bin.count;
+  EXPECT_EQ(total, v.size());
+  EXPECT_DOUBLE_EQ(h.front().lo, 0.0);
+  EXPECT_DOUBLE_EQ(h.back().hi, 10.0);
+  EXPECT_EQ(h[0].count, 2u);  // 0, 1
+  EXPECT_EQ(h[4].count, 2u);  // 8, 10 (max lands in last bin)
+}
+
+TEST(HistogramTest, DegenerateInputs) {
+  EXPECT_TRUE(histogram({}, 4).empty());
+  EXPECT_TRUE(histogram({1.0, 2.0}, 0).empty());
+  auto constant = histogram({5.0, 5.0, 5.0}, 4);
+  ASSERT_EQ(constant.size(), 1u);
+  EXPECT_EQ(constant[0].count, 3u);
+}
+
+}  // namespace
+}  // namespace ickpt::analysis

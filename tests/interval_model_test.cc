@@ -1,0 +1,76 @@
+#include "analysis/interval_model.h"
+
+#include <gtest/gtest.h>
+
+#include "common/units.h"
+
+namespace ickpt::analysis {
+namespace {
+
+TEST(YoungTest, KnownValue) {
+  // c = 10 s, M = 2000 s -> sqrt(2*10*2000) = 200 s.
+  EXPECT_DOUBLE_EQ(young_interval(10, 2000), 200.0);
+}
+
+TEST(YoungTest, DegenerateInputs) {
+  EXPECT_DOUBLE_EQ(young_interval(0, 1000), 0.0);
+  EXPECT_DOUBLE_EQ(young_interval(10, 0), 0.0);
+}
+
+TEST(DalyTest, ApproachesYoungForSmallCost) {
+  // c << M: Daly ~ Young - c.
+  double young = young_interval(1, 100000);
+  double daly = daly_interval(1, 100000);
+  EXPECT_NEAR(daly, young - 1, 0.05 * young);
+}
+
+TEST(DalyTest, CapsAtMtbfForHugeCost) {
+  EXPECT_DOUBLE_EQ(daly_interval(5000, 1000), 1000.0);
+}
+
+TEST(WasteTest, FirstOrderShape) {
+  // waste = c/T + T/(2M): minimized near the Young interval.
+  double c = 10, m = 2000;
+  double t_opt = young_interval(c, m);
+  double w_opt = expected_waste(t_opt, c, m);
+  EXPECT_LT(w_opt, expected_waste(t_opt / 4, c, m));
+  EXPECT_LT(w_opt, expected_waste(t_opt * 4, c, m));
+  EXPECT_NEAR(w_opt, 2.0 * c / t_opt, 1e-9);  // c/T == T/2M at optimum
+}
+
+TEST(WasteTest, RestartCostAdds) {
+  double base = expected_waste(100, 10, 2000, 0);
+  double with_restart = expected_waste(100, 10, 2000, 50);
+  EXPECT_GT(with_restart, base);
+  EXPECT_NEAR(with_restart - base, 50.0 / 2000.0, 1e-12);
+}
+
+TEST(WasteTest, ClampsToUnity) {
+  EXPECT_DOUBLE_EQ(expected_waste(1, 100, 10), 1.0);
+  EXPECT_DOUBLE_EQ(expected_waste(0, 1, 10), 1.0);
+}
+
+TEST(PlanTest, PaperScaleExample) {
+  // Sage-1000MB-like: ~79 MB per 1 s slice checkpointed to a 320 MB/s
+  // disk, few-hour MTBF (the paper's BlueGene/L motivation).
+  double ckpt_bytes = 79.0 * static_cast<double>(kMB);
+  double footprint = 954.6 * static_cast<double>(kMB);
+  double disk = 320.0 * static_cast<double>(kMB);
+  double mtbf = 4 * 3600.0;
+  auto plan = plan_interval(ckpt_bytes, footprint, disk, mtbf);
+
+  EXPECT_NEAR(plan.checkpoint_cost_s, 0.247, 0.001);
+  // sqrt(2 * 0.247 * 14400) ~ 84 s: checkpoints every minute-and-a-half.
+  EXPECT_NEAR(plan.interval_s, 84.0, 4.0);
+  // Overhead well under 1 %: the feasibility headline in time terms.
+  EXPECT_LT(plan.waste, 0.01);
+  EXPECT_GT(plan.efficiency, 0.99);
+}
+
+TEST(PlanTest, BadDeviceYieldsZeroEfficiency) {
+  auto plan = plan_interval(1000, 1000, 0, 3600);
+  EXPECT_DOUBLE_EQ(plan.efficiency, 0.0);
+}
+
+}  // namespace
+}  // namespace ickpt::analysis

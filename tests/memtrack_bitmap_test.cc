@@ -1,0 +1,101 @@
+#include "memtrack/bitmap.h"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+#include <vector>
+
+namespace ickpt::memtrack {
+namespace {
+
+TEST(BitmapTest, StartsClear) {
+  AtomicBitmap b(200);
+  EXPECT_EQ(b.size_bits(), 200u);
+  EXPECT_EQ(b.count(), 0u);
+  for (std::size_t i = 0; i < 200; ++i) EXPECT_FALSE(b.test(i));
+}
+
+TEST(BitmapTest, SetAndTest) {
+  AtomicBitmap b(128);
+  EXPECT_TRUE(b.set(0));
+  EXPECT_TRUE(b.set(63));
+  EXPECT_TRUE(b.set(64));
+  EXPECT_TRUE(b.set(127));
+  EXPECT_FALSE(b.set(0));  // already set
+  EXPECT_EQ(b.count(), 4u);
+  EXPECT_TRUE(b.test(63));
+  EXPECT_FALSE(b.test(62));
+}
+
+TEST(BitmapTest, ClearResets) {
+  AtomicBitmap b(70);
+  b.set(5);
+  b.set(69);
+  b.clear();
+  EXPECT_EQ(b.count(), 0u);
+  EXPECT_FALSE(b.test(5));
+}
+
+TEST(BitmapTest, DrainReturnsSortedIndicesAndClears) {
+  AtomicBitmap b(300);
+  for (std::size_t i : {7u, 64u, 65u, 299u}) b.set(i);
+  std::vector<std::uint32_t> out;
+  b.drain_set_bits(out, 300);
+  ASSERT_EQ(out.size(), 4u);
+  EXPECT_EQ(out[0], 7u);
+  EXPECT_EQ(out[1], 64u);
+  EXPECT_EQ(out[2], 65u);
+  EXPECT_EQ(out[3], 299u);
+  EXPECT_EQ(b.count(), 0u);
+}
+
+TEST(BitmapTest, DrainRespectsLimit) {
+  AtomicBitmap b(128);
+  b.set(10);
+  b.set(100);
+  std::vector<std::uint32_t> out;
+  b.drain_set_bits(out, /*limit_bits=*/50);
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0], 10u);
+}
+
+TEST(BitmapTest, CopyDoesNotClear) {
+  AtomicBitmap b(64);
+  b.set(3);
+  std::vector<std::uint32_t> out;
+  b.copy_set_bits(out, 64);
+  EXPECT_EQ(out.size(), 1u);
+  EXPECT_TRUE(b.test(3));
+}
+
+TEST(BitmapTest, ConcurrentSettersLoseNoBits) {
+  constexpr std::size_t kBits = 64 * 1024;
+  AtomicBitmap b(kBits);
+  constexpr int kThreads = 4;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&b, t] {
+      for (std::size_t i = static_cast<std::size_t>(t); i < kBits;
+           i += kThreads) {
+        b.set(i);
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_EQ(b.count(), kBits);
+}
+
+TEST(BitmapTest, WordBoundaryBits) {
+  AtomicBitmap b(129);
+  b.set(63);
+  b.set(64);
+  b.set(128);
+  std::vector<std::uint32_t> out;
+  b.copy_set_bits(out, 129);
+  ASSERT_EQ(out.size(), 3u);
+  EXPECT_EQ(out[2], 128u);
+}
+
+}  // namespace
+}  // namespace ickpt::memtrack

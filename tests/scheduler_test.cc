@@ -1,0 +1,104 @@
+#include "checkpoint/scheduler.h"
+
+#include <gtest/gtest.h>
+
+#include "common/page.h"
+
+namespace ickpt::checkpoint {
+namespace {
+
+trace::Sample slice(std::uint64_t i, double dt, std::size_t iws_mb) {
+  trace::Sample s;
+  s.index = i;
+  s.t_start = static_cast<double>(i) * dt;
+  s.t_end = s.t_start + dt;
+  s.iws_bytes = iws_mb * 1024 * 1024;
+  s.iws_pages = s.iws_bytes / page_size();
+  return s;
+}
+
+/// Bursty series: `burst` slices of high IWS, then `gap` quiet slices.
+std::vector<trace::Sample> bursty_series(int cycles, int burst, int gap,
+                                         std::size_t hi, std::size_t lo) {
+  std::vector<trace::Sample> out;
+  std::uint64_t i = 0;
+  for (int c = 0; c < cycles; ++c) {
+    for (int b = 0; b < burst; ++b) out.push_back(slice(i++, 1.0, hi));
+    for (int g = 0; g < gap; ++g) out.push_back(slice(i++, 1.0, lo));
+  }
+  return out;
+}
+
+TEST(SchedulerTest, FiresInQuietGaps) {
+  BurstAwareScheduler::Options opts;
+  opts.min_interval = 2.0;
+  opts.max_interval = 100.0;
+  BurstAwareScheduler sched(opts);
+
+  int fires_in_gap = 0, fires_in_burst = 0;
+  for (const auto& s : bursty_series(6, 8, 3, 100, 2)) {
+    bool quiet = s.iws_bytes < 10u * 1024 * 1024;
+    if (sched.observe(s)) {
+      (quiet ? fires_in_gap : fires_in_burst)++;
+    }
+  }
+  EXPECT_GE(fires_in_gap, 4);
+  EXPECT_EQ(fires_in_burst, 0);
+}
+
+TEST(SchedulerTest, MaxIntervalForcesCheckpoint) {
+  BurstAwareScheduler::Options opts;
+  opts.max_interval = 10.0;
+  BurstAwareScheduler sched(opts);
+
+  // Constant high IWS: no quiet gap ever appears.
+  int fires = 0;
+  for (int i = 0; i < 50; ++i) {
+    if (sched.observe(slice(static_cast<std::uint64_t>(i), 1.0, 100))) {
+      ++fires;
+    }
+  }
+  EXPECT_GE(fires, 4);  // ~every 10 s over 50 s
+  EXPECT_EQ(sched.forced(), sched.decisions());
+}
+
+TEST(SchedulerTest, MinIntervalRateLimits) {
+  BurstAwareScheduler::Options opts;
+  opts.min_interval = 5.0;
+  opts.max_interval = 1000.0;
+  BurstAwareScheduler sched(opts);
+
+  // Permanently quiet after a burst: without the rate limit it would
+  // fire every slice.
+  int fires = 0;
+  for (const auto& s : bursty_series(1, 5, 40, 100, 1)) {
+    if (sched.observe(s)) ++fires;
+  }
+  EXPECT_LE(fires, 9);  // 45 slices / 5 s min interval
+  EXPECT_GE(fires, 3);
+}
+
+TEST(SchedulerTest, WarmupSuppressesEarlyFires) {
+  BurstAwareScheduler::Options opts;
+  opts.warmup_slices = 10;
+  opts.min_interval = 0.0;
+  BurstAwareScheduler sched(opts);
+  int fires = 0;
+  for (int i = 0; i < 10; ++i) {
+    if (sched.observe(slice(static_cast<std::uint64_t>(i), 1.0, 1))) {
+      ++fires;
+    }
+  }
+  EXPECT_EQ(fires, 0);
+}
+
+TEST(SchedulerTest, EwmaTracksLevel) {
+  BurstAwareScheduler sched;
+  for (int i = 0; i < 50; ++i) {
+    sched.observe(slice(static_cast<std::uint64_t>(i), 1.0, 64));
+  }
+  EXPECT_NEAR(sched.ewma_iws(), 64.0 * 1024 * 1024, 1024.0);
+}
+
+}  // namespace
+}  // namespace ickpt::checkpoint

@@ -1,0 +1,133 @@
+#include "sim/virtual_clock.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace ickpt::sim {
+namespace {
+
+TEST(VirtualClockTest, StartsAtZeroAndAdvances) {
+  VirtualClock clock;
+  EXPECT_DOUBLE_EQ(clock.now(), 0.0);
+  clock.advance(1.5);
+  EXPECT_DOUBLE_EQ(clock.now(), 1.5);
+  clock.advance(0.0);
+  EXPECT_DOUBLE_EQ(clock.now(), 1.5);
+}
+
+TEST(VirtualClockTest, NegativeAdvanceThrows) {
+  VirtualClock clock;
+  EXPECT_THROW(clock.advance(-0.1), std::invalid_argument);
+}
+
+TEST(VirtualClockTest, PeriodicCallbackFiresAtBoundaries) {
+  VirtualClock clock;
+  std::vector<double> fires;
+  clock.subscribe_periodic(1.0, [&](double t) { fires.push_back(t); });
+  clock.advance(3.5);
+  ASSERT_EQ(fires.size(), 3u);
+  EXPECT_DOUBLE_EQ(fires[0], 1.0);
+  EXPECT_DOUBLE_EQ(fires[1], 2.0);
+  EXPECT_DOUBLE_EQ(fires[2], 3.0);
+  EXPECT_DOUBLE_EQ(clock.now(), 3.5);
+}
+
+TEST(VirtualClockTest, ManySmallAdvancesCrossBoundariesOnce) {
+  VirtualClock clock;
+  int fires = 0;
+  clock.subscribe_periodic(1.0, [&](double) { ++fires; });
+  // 0.0625 is exact in binary: 80 steps sum to exactly 5.0.
+  for (int i = 0; i < 80; ++i) clock.advance(0.0625);
+  EXPECT_EQ(fires, 5);
+}
+
+TEST(VirtualClockTest, CallbackSeesBoundaryTimeAsNow) {
+  VirtualClock clock;
+  double seen = -1;
+  clock.subscribe_periodic(2.0, [&](double t) {
+    seen = t;
+    EXPECT_DOUBLE_EQ(clock.now(), t);
+  });
+  clock.advance(2.5);
+  EXPECT_DOUBLE_EQ(seen, 2.0);
+}
+
+TEST(VirtualClockTest, TwoSubscribersInterleaveInTimeOrder) {
+  VirtualClock clock;
+  std::vector<std::pair<char, double>> log;
+  clock.subscribe_periodic(1.0, [&](double t) { log.push_back({'a', t}); });
+  clock.subscribe_periodic(1.5, [&](double t) { log.push_back({'b', t}); });
+  clock.advance(3.0);
+  // a@1, b@1.5, a@2, a@3, b@3: ties (a@3, b@3) fire in subscription order.
+  ASSERT_EQ(log.size(), 5u);
+  EXPECT_EQ(log[0].first, 'a');
+  EXPECT_DOUBLE_EQ(log[0].second, 1.0);
+  EXPECT_EQ(log[1].first, 'b');
+  EXPECT_DOUBLE_EQ(log[1].second, 1.5);
+  EXPECT_EQ(log[2].first, 'a');
+  EXPECT_EQ(log[3].first, 'a');
+  EXPECT_EQ(log[4].first, 'b');
+}
+
+TEST(VirtualClockTest, UnsubscribeStopsFiring) {
+  VirtualClock clock;
+  int fires = 0;
+  int id = clock.subscribe_periodic(1.0, [&](double) { ++fires; });
+  clock.advance(2.5);
+  EXPECT_EQ(fires, 2);
+  clock.unsubscribe(id);
+  clock.advance(5.0);
+  EXPECT_EQ(fires, 2);
+  EXPECT_EQ(clock.subscriber_count(), 0u);
+}
+
+TEST(VirtualClockTest, CallbackMayUnsubscribeItself) {
+  VirtualClock clock;
+  int fires = 0;
+  int id = 0;
+  id = clock.subscribe_periodic(1.0, [&](double) {
+    ++fires;
+    clock.unsubscribe(id);
+  });
+  clock.advance(5.0);
+  EXPECT_EQ(fires, 1);
+}
+
+TEST(VirtualClockTest, PhaseOffsetsFirstFire) {
+  VirtualClock clock;
+  std::vector<double> fires;
+  clock.subscribe_periodic(1.0, [&](double t) { fires.push_back(t); }, 0.25);
+  clock.advance(2.5);
+  ASSERT_EQ(fires.size(), 2u);
+  EXPECT_DOUBLE_EQ(fires[0], 1.25);
+  EXPECT_DOUBLE_EQ(fires[1], 2.25);
+}
+
+TEST(VirtualClockTest, ZeroPeriodThrows) {
+  VirtualClock clock;
+  EXPECT_THROW(clock.subscribe_periodic(0.0, [](double) {}),
+               std::invalid_argument);
+}
+
+TEST(VirtualClockTest, ReentrantAdvanceThrows) {
+  VirtualClock clock;
+  clock.subscribe_periodic(1.0, [&](double) {
+    EXPECT_THROW(clock.advance(1.0), std::logic_error);
+  });
+  clock.advance(1.5);
+}
+
+TEST(VirtualClockTest, SubscribeAfterTimePassed) {
+  VirtualClock clock;
+  clock.advance(10.0);
+  std::vector<double> fires;
+  clock.subscribe_periodic(2.0, [&](double t) { fires.push_back(t); });
+  clock.advance(4.0);
+  ASSERT_EQ(fires.size(), 2u);
+  EXPECT_DOUBLE_EQ(fires[0], 12.0);
+  EXPECT_DOUBLE_EQ(fires[1], 14.0);
+}
+
+}  // namespace
+}  // namespace ickpt::sim

@@ -1,0 +1,112 @@
+// Synthetic burst-model generator + its use as analysis ground truth.
+#include "trace/synthetic.h"
+
+#include <gtest/gtest.h>
+
+#include "analysis/metrics.h"
+#include "analysis/period.h"
+#include "common/units.h"
+
+namespace ickpt::trace {
+namespace {
+
+BurstModel basic_model() {
+  BurstModel m;
+  m.period_s = 10;
+  m.burst_frac = 0.8;
+  m.spike_mb = 20;
+  m.hot_mb = 15;
+  m.cold_mb_per_s = 2;
+  m.active_mb = 40;
+  m.footprint_mb = 100;
+  m.comm_recv_mb_per_s = 1.0;
+  return m;
+}
+
+TEST(SyntheticTest, SliceCountMatchesDuration) {
+  auto series = synthesize(basic_model(), 1.0, 50.0);
+  EXPECT_EQ(series.size(), 50u);
+  auto coarse = synthesize(basic_model(), 5.0, 50.0);
+  EXPECT_EQ(coarse.size(), 10u);
+}
+
+TEST(SyntheticTest, InitBurstInFirstSlice) {
+  auto series = synthesize(basic_model(), 1.0, 20.0);
+  EXPECT_NEAR(static_cast<double>(series[0].iws_bytes),
+              100.0 * static_cast<double>(kMB),
+              static_cast<double>(kMB));
+  EXPECT_GT(series[0].iws_bytes, series[1].iws_bytes);
+}
+
+TEST(SyntheticTest, BurstAndGapStructure) {
+  auto series = synthesize(basic_model(), 1.0, 40.0);
+  // Slices in the comm gap (phase in [8, 10)) have no writes but
+  // positive receive traffic.
+  const auto& gap = series[8];  // t in [8, 9): gap of iteration 0
+  EXPECT_EQ(gap.iws_bytes, 0u);
+  EXPECT_GT(gap.recv_bytes, 0u);
+  // Burst slices (away from the spike) carry hot + cold.
+  const auto& burst = series[12];  // t in [12,13): phase 2 of iter 1
+  EXPECT_NEAR(static_cast<double>(burst.iws_bytes),
+              17.0 * static_cast<double>(kMB),
+              0.5 * static_cast<double>(kMB));
+  EXPECT_EQ(burst.recv_bytes, 0u);
+}
+
+TEST(SyntheticTest, SpikeSliceIsLargest) {
+  auto series = synthesize(basic_model(), 1.0, 40.0);
+  // Slice at t=10 contains iteration 1's spike: spike + hot + cold.
+  const auto& spike = series[10];
+  EXPECT_NEAR(static_cast<double>(spike.iws_bytes),
+              37.0 * static_cast<double>(kMB),
+              0.5 * static_cast<double>(kMB));
+}
+
+TEST(SyntheticTest, ActiveSetCapsWideWindows) {
+  auto series = synthesize(basic_model(), 8.0, 80.0);
+  for (std::size_t i = 1; i < series.size(); ++i) {
+    EXPECT_LE(series[i].iws_bytes,
+              static_cast<std::size_t>(2 * 40.0 *
+                                       static_cast<double>(kMB)))
+        << "slice " << i;
+  }
+}
+
+TEST(SyntheticTest, PeriodDetectionRecoversModelPeriod) {
+  // The analysis stack must recover the generator's period across a
+  // grid of models — ground-truth property testing.
+  for (double period : {6.0, 10.0, 14.0, 25.0}) {
+    for (double burst_frac : {0.6, 0.8}) {
+      BurstModel m = basic_model();
+      m.period_s = period;
+      m.burst_frac = burst_frac;
+      auto series = synthesize(m, 1.0, 20 * period);
+      auto iws = series.iws_bytes_series();
+      iws.erase(iws.begin());  // drop the init peak
+      auto est = analysis::detect_period(iws, 1.0);
+      ASSERT_TRUE(est.found) << "period " << period;
+      EXPECT_NEAR(est.period, period, 1.0)
+          << "period " << period << " burst " << burst_frac;
+    }
+  }
+}
+
+TEST(SyntheticTest, AvgIBPredictionMatchesSeries) {
+  BurstModel m = basic_model();
+  auto series = synthesize(m, 1.0, 400.0);
+  auto stats = analysis::compute_ib_stats(series, /*skip_first=*/1);
+  double predicted = expected_avg_ib_mb(m, 1.0) * static_cast<double>(kMB);
+  EXPECT_NEAR(stats.avg_ib, predicted, 0.15 * predicted);
+}
+
+TEST(SyntheticTest, IBDecaysWithTimeslice) {
+  BurstModel m = basic_model();
+  auto fine = synthesize(m, 1.0, 300.0);
+  auto coarse = synthesize(m, 10.0, 300.0);
+  auto f = analysis::compute_ib_stats(fine, 1);
+  auto c = analysis::compute_ib_stats(coarse, 1);
+  EXPECT_LT(c.avg_ib, 0.6 * f.avg_ib);
+}
+
+}  // namespace
+}  // namespace ickpt::trace

@@ -1,0 +1,166 @@
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+
+#include "common/arena.h"
+#include "memtrack/explicit_engine.h"
+#include "trace/time_series.h"
+#include "trace/write_trace.h"
+
+namespace ickpt::trace {
+namespace {
+
+Sample make_sample(std::uint64_t i, double t0, double t1, std::size_t pages,
+                   std::size_t footprint, std::uint64_t recv = 0) {
+  Sample s;
+  s.index = i;
+  s.t_start = t0;
+  s.t_end = t1;
+  s.iws_pages = pages;
+  s.iws_bytes = pages * page_size();
+  s.footprint_bytes = footprint;
+  s.recv_bytes = recv;
+  return s;
+}
+
+TEST(SampleTest, DerivedMetrics) {
+  Sample s = make_sample(0, 0, 2.0, 10, 40 * page_size());
+  EXPECT_DOUBLE_EQ(s.timeslice(), 2.0);
+  EXPECT_DOUBLE_EQ(s.ib_bytes_per_s(),
+                   static_cast<double>(10 * page_size()) / 2.0);
+  EXPECT_DOUBLE_EQ(s.iws_footprint_ratio(), 0.25);
+}
+
+TEST(SampleTest, DegenerateValuesAreSafe) {
+  Sample s;  // zero everything
+  EXPECT_DOUBLE_EQ(s.ib_bytes_per_s(), 0.0);
+  EXPECT_DOUBLE_EQ(s.iws_footprint_ratio(), 0.0);
+}
+
+TEST(TimeSeriesTest, SeriesExtraction) {
+  TimeSeries ts("test");
+  ts.add(make_sample(0, 0, 1, 4, 100, 50));
+  ts.add(make_sample(1, 1, 2, 8, 100, 70));
+  EXPECT_EQ(ts.size(), 2u);
+  auto iws = ts.iws_bytes_series();
+  EXPECT_DOUBLE_EQ(iws[0], static_cast<double>(4 * page_size()));
+  auto ib = ts.ib_series();
+  EXPECT_DOUBLE_EQ(ib[1], static_cast<double>(8 * page_size()));
+  auto recv = ts.recv_series();
+  EXPECT_DOUBLE_EQ(recv[0], 50.0);
+  auto fp = ts.footprint_series();
+  EXPECT_DOUBLE_EQ(fp[0], 100.0);
+}
+
+TEST(TimeSeriesTest, CsvRoundTrip) {
+  TimeSeries ts("rt");
+  ts.add(make_sample(0, 0, 1, 4, 100, 7));
+  ts.add(make_sample(1, 1, 2.5, 9, 120, 0));
+  std::string path = ::testing::TempDir() + "/series.csv";
+  ASSERT_TRUE(ts.write_csv(path).is_ok());
+
+  auto loaded = TimeSeries::read_csv(path);
+  ASSERT_TRUE(loaded.is_ok());
+  ASSERT_EQ(loaded->size(), 2u);
+  EXPECT_EQ((*loaded)[0].iws_pages, 4u);
+  EXPECT_EQ((*loaded)[1].footprint_bytes, 120u);
+  EXPECT_DOUBLE_EQ((*loaded)[1].t_end, 2.5);
+  std::remove(path.c_str());
+}
+
+TEST(TimeSeriesTest, ReadMissingFileFails) {
+  EXPECT_FALSE(TimeSeries::read_csv("/nonexistent/none.csv").is_ok());
+}
+
+TEST(TimeSeriesTest, ReadRejectsGarbageRow) {
+  std::string path = ::testing::TempDir() + "/garbage.csv";
+  {
+    std::ofstream os(path);
+    os << "header\nthis,is,not,numbers\n";
+  }
+  auto loaded = TimeSeries::read_csv(path);
+  EXPECT_FALSE(loaded.is_ok());
+  EXPECT_EQ(loaded.status().code(), ErrorCode::kCorruption);
+  std::remove(path.c_str());
+}
+
+TEST(WriteTraceTest, RecordSnapshotCompressesRuns) {
+  WriteTrace trace(100, 1.0);
+  trace.record_snapshot(0, {1, 2, 3, 7, 9, 10});
+  ASSERT_EQ(trace.events().size(), 3u);
+  EXPECT_EQ(trace.events()[0].first_page, 1u);
+  EXPECT_EQ(trace.events()[0].page_count, 3u);
+  EXPECT_EQ(trace.events()[1].first_page, 7u);
+  EXPECT_EQ(trace.events()[1].page_count, 1u);
+  EXPECT_EQ(trace.events()[2].first_page, 9u);
+  EXPECT_EQ(trace.events()[2].page_count, 2u);
+}
+
+TEST(WriteTraceTest, ReplayReproducesIWS) {
+  WriteTrace trace(32, 1.0);
+  trace.record(0, 0, 4);    // slice 0: pages 0-3
+  trace.record(1, 10, 2);   // slice 1: pages 10-11
+  trace.record(1, 0, 1);    // slice 1: page 0 again
+  trace.record(3, 31, 1);   // slice 3 (slice 2 empty)
+
+  memtrack::ExplicitEngine engine;
+  PageArena arena(32 * page_size());
+  auto iws = trace.replay(engine, arena.span());
+  ASSERT_TRUE(iws.is_ok());
+  ASSERT_EQ(iws->size(), 4u);
+  EXPECT_EQ((*iws)[0], 4u);
+  EXPECT_EQ((*iws)[1], 3u);
+  EXPECT_EQ((*iws)[2], 0u);
+  EXPECT_EQ((*iws)[3], 1u);
+}
+
+TEST(WriteTraceTest, ReplayRequiresEnoughMemory) {
+  WriteTrace trace(64, 1.0);
+  trace.record(0, 0, 1);
+  memtrack::ExplicitEngine engine;
+  PageArena small(8 * page_size());
+  EXPECT_FALSE(trace.replay(engine, small.span()).is_ok());
+}
+
+TEST(WriteTraceTest, SaveLoadRoundTrip) {
+  WriteTrace trace(16, 2.5);
+  trace.record(0, 3, 2);
+  trace.record(2, 0, 16);
+  std::string path = ::testing::TempDir() + "/trace.wt";
+  ASSERT_TRUE(trace.save(path).is_ok());
+
+  auto loaded = WriteTrace::load(path);
+  ASSERT_TRUE(loaded.is_ok());
+  EXPECT_EQ(loaded->region_pages(), 16u);
+  EXPECT_DOUBLE_EQ(loaded->timeslice(), 2.5);
+  ASSERT_EQ(loaded->events().size(), 2u);
+  EXPECT_EQ(loaded->events()[1].page_count, 16u);
+  EXPECT_EQ(loaded->slice_count(), 3u);
+  std::remove(path.c_str());
+}
+
+TEST(WriteTraceTest, LoadRejectsBadHeader) {
+  std::string path = ::testing::TempDir() + "/bad.wt";
+  {
+    std::ofstream os(path);
+    os << "not a trace\n";
+  }
+  auto loaded = WriteTrace::load(path);
+  EXPECT_EQ(loaded.status().code(), ErrorCode::kCorruption);
+  std::remove(path.c_str());
+}
+
+TEST(WriteTraceTest, LoadRejectsTruncatedEvents) {
+  std::string path = ::testing::TempDir() + "/trunc.wt";
+  {
+    std::ofstream os(path);
+    os << "ickpt-write-trace v1\n16 1.0 5\n0 1 2\n";  // claims 5, has 1
+  }
+  auto loaded = WriteTrace::load(path);
+  EXPECT_EQ(loaded.status().code(), ErrorCode::kCorruption);
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace ickpt::trace

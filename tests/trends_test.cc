@@ -1,0 +1,67 @@
+#include "analysis/trends.h"
+
+#include <gtest/gtest.h>
+
+#include "common/units.h"
+
+namespace ickpt::analysis {
+namespace {
+
+TrendModel paper_model() {
+  // Paper §6.6 anchored at 2004: Sage-1000MB needs 78.8 MB/s; QsNet II
+  // provides 900 MB/s, SCSI 320 MB/s.
+  TrendModel m;
+  m.app_ib0 = 78.8 * static_cast<double>(kMB);
+  m.network0 = 900.0 * static_cast<double>(kMB);
+  m.storage0 = 320.0 * static_cast<double>(kMB);
+  return m;
+}
+
+TEST(TrendsTest, YearZeroMatchesInputs) {
+  auto pts = project(paper_model(), 1);
+  ASSERT_EQ(pts.size(), 1u);
+  EXPECT_DOUBLE_EQ(pts[0].app_ib, 78.8 * static_cast<double>(kMB));
+  EXPECT_NEAR(pts[0].frac_of_network, 0.0876, 1e-3);
+  EXPECT_NEAR(pts[0].frac_of_storage, 0.246, 1e-3);
+  EXPECT_TRUE(pts[0].feasible);
+}
+
+TEST(TrendsTest, PaperConclusionHeadroomWidens) {
+  // "future improvements in networking and storage will make
+  // incremental checkpointing even more effective" — the fraction of
+  // device bandwidth consumed must shrink year over year.
+  auto pts = project(paper_model(), 10);
+  for (std::size_t y = 1; y < pts.size(); ++y) {
+    EXPECT_LT(pts[y].frac_of_network, pts[y - 1].frac_of_network);
+    EXPECT_LT(pts[y].frac_of_storage, pts[y - 1].frac_of_storage);
+    EXPECT_TRUE(pts[y].feasible);
+  }
+  EXPECT_EQ(infeasibility_year(paper_model(), 15), -1);
+}
+
+TEST(TrendsTest, SlowDevicesEventuallyInfeasible) {
+  TrendModel m = paper_model();
+  m.network_growth = 0.0;
+  m.storage_growth = 0.0;
+  m.app_ib_growth = 0.5;
+  // 78.8 * 1.5^y > 320 -> y >= 4 (78.8*5.06 = 399).
+  EXPECT_EQ(infeasibility_year(m, 20), 4);
+}
+
+TEST(TrendsTest, GrowthCompounds) {
+  TrendModel m;
+  m.app_ib0 = 100;
+  m.network0 = 1000;
+  m.storage0 = 1000;
+  m.app_ib_growth = 1.0;  // doubling yearly
+  auto pts = project(m, 4);
+  EXPECT_DOUBLE_EQ(pts[3].app_ib, 800.0);
+}
+
+TEST(TrendsTest, HorizonZero) {
+  EXPECT_TRUE(project(paper_model(), 0).empty());
+  EXPECT_EQ(infeasibility_year(paper_model(), 0), -1);
+}
+
+}  // namespace
+}  // namespace ickpt::analysis

@@ -1,0 +1,103 @@
+#include "analysis/window.h"
+
+#include <gtest/gtest.h>
+
+#include "core/study.h"
+
+namespace ickpt::analysis {
+namespace {
+
+TEST(WindowTest, UnionsAcrossSlices) {
+  trace::WriteTrace t(100, 1.0);
+  t.record(0, 0, 10);    // slice 0: pages 0-9
+  t.record(1, 5, 10);    // slice 1: pages 5-14 (overlap 5-9)
+  t.record(2, 50, 5);    // slice 2: pages 50-54
+  t.record(3, 50, 5);    // slice 3: same pages again
+
+  auto k1 = window_iws(t, 1);
+  ASSERT_TRUE(k1.is_ok());
+  EXPECT_EQ(*k1, (std::vector<std::size_t>{10, 10, 5, 5}));
+
+  auto k2 = window_iws(t, 2);
+  ASSERT_TRUE(k2.is_ok());
+  // Window 0 = slices 0+1 union = pages 0-14 -> 15; window 1 = 5.
+  EXPECT_EQ(*k2, (std::vector<std::size_t>{15, 5}));
+
+  auto k4 = window_iws(t, 4);
+  ASSERT_TRUE(k4.is_ok());
+  EXPECT_EQ(*k4, (std::vector<std::size_t>{20}));
+}
+
+TEST(WindowTest, PartialTrailingWindowDropped) {
+  trace::WriteTrace t(10, 1.0);
+  t.record(0, 0, 1);
+  t.record(1, 1, 1);
+  t.record(2, 2, 1);
+  auto k2 = window_iws(t, 2);
+  ASSERT_TRUE(k2.is_ok());
+  ASSERT_EQ(k2->size(), 1u);  // slice 2 alone is a partial window
+  EXPECT_EQ((*k2)[0], 2u);
+}
+
+TEST(WindowTest, RejectsZeroK) {
+  trace::WriteTrace t(4, 1.0);
+  EXPECT_FALSE(window_iws(t, 0).is_ok());
+}
+
+TEST(WindowTest, EmptySlicesAreZero) {
+  trace::WriteTrace t(16, 1.0);
+  t.record(0, 0, 4);
+  t.record(3, 0, 4);
+  auto k1 = window_iws(t, 1);
+  ASSERT_TRUE(k1.is_ok());
+  EXPECT_EQ(*k1, (std::vector<std::size_t>{4, 0, 0, 4}));
+}
+
+TEST(WindowTest, IbCurveIsMonotonicInIws) {
+  trace::WriteTrace t(64, 1.0);
+  // Sweep through 8 pages per slice, wrapping over 32 pages.
+  for (std::uint64_t s = 0; s < 16; ++s) {
+    t.record(s, static_cast<std::uint32_t>((s * 8) % 32), 8);
+  }
+  auto curve = ib_curve(t, {1, 2, 4, 8});
+  ASSERT_TRUE(curve.is_ok());
+  ASSERT_EQ(curve->size(), 4u);
+  // IWS grows with the window until it saturates at 32 pages...
+  EXPECT_DOUBLE_EQ((*curve)[0].avg_iws_pages, 8);
+  EXPECT_DOUBLE_EQ((*curve)[1].avg_iws_pages, 16);
+  EXPECT_DOUBLE_EQ((*curve)[2].avg_iws_pages, 32);
+  EXPECT_DOUBLE_EQ((*curve)[3].avg_iws_pages, 32);
+  // ...while IB decays once saturated (Figure 2's shape).
+  EXPECT_GT((*curve)[2].avg_ib_pages_per_s,
+            (*curve)[3].avg_ib_pages_per_s);
+}
+
+TEST(WindowTest, CrossValidatesAgainstDirectSweep) {
+  // The single-trace window curve must agree with actually re-running
+  // the study at the longer timeslice.
+  StudyConfig base;
+  base.app = "sp";
+  base.engine = memtrack::EngineKind::kExplicit;
+  base.footprint_scale = 1.0 / 64.0;
+  base.timeslice = 1.0;
+  base.run_vs = 40.0;
+  base.capture_trace = true;
+  auto r1 = run_study(base);
+  ASSERT_TRUE(r1.is_ok());
+
+  auto curve = ib_curve(r1->write_trace, {5});
+  ASSERT_TRUE(curve.is_ok());
+
+  StudyConfig direct = base;
+  direct.capture_trace = false;
+  direct.timeslice = 5.0;
+  auto r5 = run_study(direct);
+  ASSERT_TRUE(r5.is_ok());
+
+  double direct_pages = r5->ib.avg_iws / static_cast<double>(page_size());
+  EXPECT_NEAR((*curve)[0].avg_iws_pages, direct_pages,
+              0.06 * direct_pages);
+}
+
+}  // namespace
+}  // namespace ickpt::analysis

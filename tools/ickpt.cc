@@ -1,0 +1,256 @@
+// ickpt — command-line front end to the library.
+//
+//   ickpt apps
+//       List the calibrated applications and their paper targets.
+//
+//   ickpt study --app NAME [--timeslice S] [--ranks N] [--engine E]
+//               [--scale F] [--run-vs S] [--csv FILE] [--phase S]
+//       Run a feasibility study and print the measured
+//       characterization, bandwidth requirement and verdict.
+//
+//   ickpt fsck DIR
+//       Verify every checkpoint chain in a file-backend directory.
+//
+//   ickpt replay TRACE.wt
+//       Replay a saved write trace through the explicit engine and
+//       print the IWS per slice.
+#include <cstdio>
+#include <iostream>
+#include <cstring>
+#include <map>
+#include <string>
+
+#include "analysis/distribution.h"
+#include "analysis/feasibility.h"
+#include "analysis/period.h"
+#include "apps/catalog.h"
+#include "checkpoint/inspect.h"
+#include "common/arena.h"
+#include "common/table.h"
+#include "common/units.h"
+#include "core/study.h"
+#include "storage/backend.h"
+#include "trace/write_trace.h"
+
+namespace {
+
+using namespace ickpt;
+
+int usage() {
+  std::fprintf(stderr,
+               "usage: ickpt apps\n"
+               "       ickpt study --app NAME [--timeslice S] [--ranks N]\n"
+               "                   [--engine mprotect|softdirty|uffd|explicit]\n"
+               "                   [--scale F] [--run-vs S] [--phase S]\n"
+               "                   [--csv FILE] [--trace FILE]\n"
+               "       ickpt fsck DIR\n"
+               "       ickpt replay TRACE.wt\n");
+  return 2;
+}
+
+std::map<std::string, std::string> parse_flags(int argc, char** argv,
+                                               int first) {
+  std::map<std::string, std::string> flags;
+  for (int i = first; i + 1 < argc; i += 2) {
+    if (std::strncmp(argv[i], "--", 2) == 0) {
+      flags[argv[i] + 2] = argv[i + 1];
+    }
+  }
+  return flags;
+}
+
+int cmd_apps() {
+  TextTable table("Calibrated applications");
+  table.set_header({"Name", "Footprint max (MB)", "Period (s)",
+                    "Overwrite %", "Avg IB@1s (MB/s)"});
+  for (const auto& name : apps::catalog_names()) {
+    auto t = apps::paper_targets(name).value();
+    table.add_row({name, TextTable::num(t.footprint_max_mb),
+                   TextTable::num(t.period_s, 2),
+                   TextTable::num(t.overwrite_frac * 100, 0),
+                   TextTable::num(t.avg_ib1_mb_s)});
+  }
+  for (const auto& name : apps::extra_app_names()) {
+    auto period = apps::app_period(name);
+    table.add_row({name + " (extra)", "-",
+                   period.is_ok() ? TextTable::num(*period, 2) : "?", "-",
+                   "-"});
+  }
+  table.print(std::cout);
+  return 0;
+}
+
+int cmd_study(int argc, char** argv) {
+  auto flags = parse_flags(argc, argv, 2);
+  StudyConfig cfg;
+  cfg.footprint_scale = 1.0 / 16.0;
+  if (auto it = flags.find("app"); it != flags.end()) cfg.app = it->second;
+  if (auto it = flags.find("timeslice"); it != flags.end()) {
+    cfg.timeslice = std::atof(it->second.c_str());
+  }
+  if (auto it = flags.find("ranks"); it != flags.end()) {
+    cfg.nprocs = std::atoi(it->second.c_str());
+  }
+  if (auto it = flags.find("scale"); it != flags.end()) {
+    cfg.footprint_scale = std::atof(it->second.c_str());
+  }
+  if (auto it = flags.find("run-vs"); it != flags.end()) {
+    cfg.run_vs = std::atof(it->second.c_str());
+  }
+  if (auto it = flags.find("phase"); it != flags.end()) {
+    cfg.sample_phase = std::atof(it->second.c_str());
+  }
+  std::string trace_path;
+  if (auto it = flags.find("trace"); it != flags.end()) {
+    trace_path = it->second;
+    cfg.capture_trace = true;
+  }
+  if (auto it = flags.find("engine"); it != flags.end()) {
+    const std::string& e = it->second;
+    if (e == "mprotect") {
+      cfg.engine = memtrack::EngineKind::kMProtect;
+    } else if (e == "softdirty") {
+      cfg.engine = memtrack::EngineKind::kSoftDirty;
+    } else if (e == "uffd") {
+      cfg.engine = memtrack::EngineKind::kUffd;
+    } else if (e == "explicit") {
+      cfg.engine = memtrack::EngineKind::kExplicit;
+    } else {
+      std::fprintf(stderr, "unknown engine '%s'\n", e.c_str());
+      return 2;
+    }
+  }
+
+  auto r = run_study(cfg);
+  if (!r.is_ok()) {
+    std::fprintf(stderr, "study failed: %s\n",
+                 r.status().to_string().c_str());
+    return 1;
+  }
+
+  const double scale = cfg.footprint_scale;
+  auto mb = [scale](double bytes) {
+    return bytes / static_cast<double>(kMB) / scale;
+  };
+  std::printf("app         : %s (%s engine, timeslice %.2fs, %d rank%s)\n",
+              cfg.app.c_str(),
+              std::string(memtrack::to_string(cfg.engine)).c_str(),
+              cfg.timeslice, cfg.nprocs, cfg.nprocs == 1 ? "" : "s");
+  std::printf("iterations  : %llu (period %.2fs)\n",
+              static_cast<unsigned long long>(r->iterations), r->period_s);
+  std::printf("footprint   : max %.1f MB, avg %.1f MB (paper-equivalent)\n",
+              mb(r->footprint.max_bytes), mb(r->footprint.avg_bytes));
+  std::printf("IB          : avg %.1f MB/s, max %.1f MB/s\n",
+              mb(r->ib.avg_ib), mb(r->ib.max_ib));
+  auto q = analysis::ib_quantiles(r->per_rank[0]);
+  std::printf("IB quantiles: p50 %.1f, p90 %.1f, p99 %.1f MB/s\n",
+              mb(q.p50), mb(q.p90), mb(q.p99));
+  std::printf("IWS ratio   : %.0f%% of footprint per slice\n",
+              r->ib.avg_ratio * 100);
+
+  auto est = analysis::detect_period(r->per_rank[0].iws_bytes_series(),
+                                     cfg.timeslice);
+  if (est.found) {
+    std::printf("period det. : %.2fs (confidence %.2f)\n", est.period,
+                est.confidence);
+  }
+
+  analysis::IBStats paper_eq;
+  paper_eq.avg_ib = r->ib.avg_ib / scale;
+  paper_eq.max_ib = r->ib.max_ib / scale;
+  std::printf("feasibility : %s\n",
+              analysis::describe(
+                  analysis::assess_feasibility(paper_eq)).c_str());
+
+  if (auto it = flags.find("csv"); it != flags.end()) {
+    auto st = r->per_rank[0].write_csv(it->second);
+    if (!st.is_ok()) {
+      std::fprintf(stderr, "csv: %s\n", st.to_string().c_str());
+      return 1;
+    }
+    std::printf("series csv  : %s\n", it->second.c_str());
+  }
+  if (!trace_path.empty()) {
+    auto st = r->write_trace.save(trace_path);
+    if (!st.is_ok()) {
+      std::fprintf(stderr, "trace: %s\n", st.to_string().c_str());
+      return 1;
+    }
+    std::printf("write trace : %s (%zu events; 'ickpt replay' reads it)\n",
+                trace_path.c_str(), r->write_trace.events().size());
+  }
+  return 0;
+}
+
+int cmd_fsck(const char* dir) {
+  auto backend = storage::make_file_backend(dir);
+  if (!backend.is_ok()) {
+    std::fprintf(stderr, "fsck: %s\n",
+                 backend.status().to_string().c_str());
+    return 1;
+  }
+  auto report = checkpoint::inspect_store(**backend);
+  if (!report.is_ok()) {
+    std::fprintf(stderr, "fsck: %s\n", report.status().to_string().c_str());
+    return 1;
+  }
+  for (const auto& [rank, chain] : report->chains) {
+    std::printf("rank %u: %zu checkpoint(s), %s, %s", rank,
+                chain.elements.size(),
+                format_bytes(chain.total_bytes).c_str(),
+                chain.recoverable
+                    ? ("recoverable to seq " +
+                       std::to_string(chain.recoverable_upto))
+                          .c_str()
+                    : "NOT RECOVERABLE");
+    std::printf("%s\n", chain.healthy() ? "" : "  [problems]");
+    for (const auto& p : chain.problems) {
+      std::printf("  ! %s\n", p.c_str());
+    }
+  }
+  if (!report->commit_markers.empty()) {
+    std::printf("committed global sequences: up to %llu\n",
+                static_cast<unsigned long long>(
+                    report->commit_markers.back()));
+  }
+  for (const auto& p : report->problems) {
+    std::printf("! %s\n", p.c_str());
+  }
+  std::printf("store: %s\n", report->healthy() ? "HEALTHY" : "UNHEALTHY");
+  return report->healthy() ? 0 : 1;
+}
+
+int cmd_replay(const char* path) {
+  auto loaded = trace::WriteTrace::load(path);
+  if (!loaded.is_ok()) {
+    std::fprintf(stderr, "replay: %s\n",
+                 loaded.status().to_string().c_str());
+    return 1;
+  }
+  auto tracker = memtrack::make_tracker(memtrack::EngineKind::kExplicit);
+  PageArena arena(loaded->region_pages() * page_size());
+  auto iws = loaded->replay(**tracker, arena.span());
+  if (!iws.is_ok()) {
+    std::fprintf(stderr, "replay: %s\n", iws.status().to_string().c_str());
+    return 1;
+  }
+  std::printf("%zu slices, region %zu pages, timeslice %.2fs\n",
+              iws->size(), loaded->region_pages(), loaded->timeslice());
+  for (std::size_t i = 0; i < iws->size(); ++i) {
+    std::printf("slice %4zu: %zu pages (%s)\n", i, (*iws)[i],
+                format_bytes((*iws)[i] * page_size()).c_str());
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return usage();
+  std::string cmd = argv[1];
+  if (cmd == "apps") return cmd_apps();
+  if (cmd == "study") return cmd_study(argc, argv);
+  if (cmd == "fsck" && argc >= 3) return cmd_fsck(argv[2]);
+  if (cmd == "replay" && argc >= 3) return cmd_replay(argv[2]);
+  return usage();
+}
