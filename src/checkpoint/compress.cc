@@ -29,27 +29,29 @@ PageEncoding encode_page(std::span<const std::byte> page,
   out.clear();
   if (is_zero_page(page)) return PageEncoding::kZero;
 
-  // Word RLE.  Abort to plain as soon as it stops paying off.
+  // Word RLE, emitted straight into `out` so a caller that reuses its
+  // buffer pays zero allocations per page in steady state.  Abort to
+  // plain as soon as it stops paying off.
   const auto* words = reinterpret_cast<const std::uint64_t*>(page.data());
   const std::size_t nwords = page.size() / 8;
+  out.reserve(page.size());
   if (nwords * 8 == page.size() && nwords > 0) {
-    std::vector<RlePair> pairs;
-    pairs.reserve(64);
     std::size_t i = 0;
     bool profitable = true;
     while (i < nwords) {
       std::size_t j = i + 1;
       while (j < nwords && words[j] == words[i]) ++j;
-      pairs.push_back(RlePair{j - i, words[i]});
+      const RlePair pair{j - i, words[i]};
+      const std::size_t old = out.size();
+      out.resize(old + sizeof pair);
+      std::memcpy(out.data() + old, &pair, sizeof pair);
       i = j;
-      if (pairs.size() * sizeof(RlePair) >= page.size()) {
+      if (out.size() >= page.size()) {
         profitable = false;
         break;
       }
     }
-    if (profitable && pairs.size() * sizeof(RlePair) < page.size() / 2) {
-      out.resize(pairs.size() * sizeof(RlePair));
-      std::memcpy(out.data(), pairs.data(), out.size());
+    if (profitable && out.size() < page.size() / 2) {
       return PageEncoding::kRle;
     }
   }

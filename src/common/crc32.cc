@@ -1,22 +1,57 @@
 #include "common/crc32.h"
 
 #include <array>
+#include <cstring>
 
 namespace ickpt {
 
 namespace {
-constexpr std::array<std::uint32_t, 256> make_table() {
-  std::array<std::uint32_t, 256> table{};
+
+constexpr std::uint32_t kPoly = 0xedb88320u;
+
+using Table = std::array<std::uint32_t, 256>;
+
+// kTables[0] is the classic bytewise table; kTables[k] maps a byte that
+// is k positions deeper in an 8-byte window, so eight lookups advance
+// the CRC by eight bytes at once (slice-by-8).
+constexpr std::array<Table, 8> make_tables() {
+  std::array<Table, 8> tables{};
   for (std::uint32_t i = 0; i < 256; ++i) {
     std::uint32_t c = i;
     for (int k = 0; k < 8; ++k) {
-      c = (c & 1u) ? 0xedb88320u ^ (c >> 1) : c >> 1;
+      c = (c & 1u) ? kPoly ^ (c >> 1) : c >> 1;
     }
-    table[i] = c;
+    tables[0][i] = c;
   }
-  return table;
+  for (std::size_t k = 1; k < 8; ++k) {
+    for (std::uint32_t i = 0; i < 256; ++i) {
+      tables[k][i] =
+          tables[0][tables[k - 1][i] & 0xffu] ^ (tables[k - 1][i] >> 8);
+    }
+  }
+  return tables;
 }
-constexpr auto kTable = make_table();
+constexpr auto kTables = make_tables();
+
+// ---- GF(2) matrix helpers for crc32_combine (zlib's algorithm).
+// A 32x32 bit-matrix is 32 column vectors; mat*vec is an xor-fold.
+
+std::uint32_t gf2_matrix_times(const std::uint32_t* mat,
+                               std::uint32_t vec) noexcept {
+  std::uint32_t sum = 0;
+  while (vec != 0) {
+    if (vec & 1u) sum ^= *mat;
+    vec >>= 1;
+    ++mat;
+  }
+  return sum;
+}
+
+void gf2_matrix_square(std::uint32_t* square,
+                       const std::uint32_t* mat) noexcept {
+  for (int n = 0; n < 32; ++n) square[n] = gf2_matrix_times(mat, mat[n]);
+}
+
 }  // namespace
 
 void Crc32::update(std::span<const std::byte> data) noexcept {
@@ -26,16 +61,67 @@ void Crc32::update(std::span<const std::byte> data) noexcept {
 void Crc32::update(const void* data, std::size_t len) noexcept {
   const auto* p = static_cast<const unsigned char*>(data);
   std::uint32_t c = state_;
-  for (std::size_t i = 0; i < len; ++i) {
-    c = kTable[(c ^ p[i]) & 0xffu] ^ (c >> 8);
+  // Eight bytes per iteration; the two-word loads are memcpy so
+  // alignment never matters.  Byte order: the format (and this table
+  // layout) is little-endian, like every platform the repo targets.
+  while (len >= 8) {
+    std::uint32_t lo, hi;
+    std::memcpy(&lo, p, 4);
+    std::memcpy(&hi, p + 4, 4);
+    lo ^= c;
+    c = kTables[7][lo & 0xffu] ^ kTables[6][(lo >> 8) & 0xffu] ^
+        kTables[5][(lo >> 16) & 0xffu] ^ kTables[4][lo >> 24] ^
+        kTables[3][hi & 0xffu] ^ kTables[2][(hi >> 8) & 0xffu] ^
+        kTables[1][(hi >> 16) & 0xffu] ^ kTables[0][hi >> 24];
+    p += 8;
+    len -= 8;
+  }
+  while (len-- > 0) {
+    c = kTables[0][(c ^ *p++) & 0xffu] ^ (c >> 8);
   }
   state_ = c;
+}
+
+void Crc32::combine(std::uint32_t crc_b, std::uint64_t len_b) noexcept {
+  state_ = ~crc32_combine(~state_, crc_b, len_b);
 }
 
 std::uint32_t crc32(std::span<const std::byte> data) noexcept {
   Crc32 c;
   c.update(data);
   return c.value();
+}
+
+std::uint32_t crc32_combine(std::uint32_t crc_a, std::uint32_t crc_b,
+                            std::uint64_t len_b) noexcept {
+  if (len_b == 0) return crc_a;
+
+  // odd = the operator advancing a CRC by one zero bit; square it
+  // repeatedly and apply the factors selected by len_b's bits, so the
+  // whole shift-by-len_b costs O(log len_b) matrix squarings.
+  std::uint32_t even[32];
+  std::uint32_t odd[32];
+  odd[0] = kPoly;
+  std::uint32_t row = 1;
+  for (int n = 1; n < 32; ++n) {
+    odd[n] = row;
+    row <<= 1;
+  }
+  gf2_matrix_square(even, odd);  // shift by two zero bits
+  gf2_matrix_square(odd, even);  // shift by four zero bits
+
+  // Apply len_b zero *bytes* to crc_a, squaring toward len_b's MSB.
+  do {
+    gf2_matrix_square(even, odd);
+    if (len_b & 1u) crc_a = gf2_matrix_times(even, crc_a);
+    len_b >>= 1;
+    if (len_b == 0) break;
+    gf2_matrix_square(odd, even);
+    if (len_b & 1u) crc_a = gf2_matrix_times(odd, crc_a);
+    len_b >>= 1;
+  } while (len_b != 0);
+
+  return crc_a ^ crc_b;
 }
 
 }  // namespace ickpt

@@ -1,5 +1,10 @@
-// CRC-32 (IEEE 802.3 polynomial), table-driven.
+// CRC-32 (IEEE 802.3 polynomial), slice-by-8 table-driven.
 // Used to validate checkpoint file integrity end-to-end.
+//
+// Besides the streaming update, crc32_combine() merges the CRCs of two
+// concatenated byte ranges in O(log len) without touching the bytes —
+// this is what lets the parallel encode pipeline hash shards on worker
+// threads and stitch one file CRC on the main thread.
 #pragma once
 
 #include <cstddef>
@@ -14,6 +19,10 @@ class Crc32 {
   void update(std::span<const std::byte> data) noexcept;
   void update(const void* data, std::size_t len) noexcept;
 
+  /// Append a range whose finalized CRC is `crc_b` and length is
+  /// `len_b` bytes, without re-reading the bytes (O(log len_b)).
+  void combine(std::uint32_t crc_b, std::uint64_t len_b) noexcept;
+
   /// Finalized value (can be called repeatedly; update may continue).
   std::uint32_t value() const noexcept { return ~state_; }
 
@@ -25,5 +34,10 @@ class Crc32 {
 
 /// One-shot convenience.
 std::uint32_t crc32(std::span<const std::byte> data) noexcept;
+
+/// CRC of A||B from the finalized CRCs of A and B and the length of B.
+/// Associative: combining (A,B) then C equals A then (B,C).
+std::uint32_t crc32_combine(std::uint32_t crc_a, std::uint32_t crc_b,
+                            std::uint64_t len_b) noexcept;
 
 }  // namespace ickpt

@@ -1,0 +1,56 @@
+#include "common/thread_pool.h"
+
+#include <algorithm>
+
+namespace ickpt {
+
+ThreadPool::ThreadPool(std::size_t threads) {
+  threads = std::max<std::size_t>(threads, 1);
+  workers_.reserve(threads);
+  for (std::size_t i = 0; i < threads; ++i) {
+    workers_.emplace_back([this] { run(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stopping_ = true;
+  }
+  cv_work_.notify_all();
+  for (auto& w : workers_) w.join();
+}
+
+void ThreadPool::submit(std::function<void()> task) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    queue_.push_back(std::move(task));
+    ++in_flight_;
+  }
+  cv_work_.notify_one();
+}
+
+void ThreadPool::wait_idle() {
+  std::unique_lock<std::mutex> lock(mu_);
+  cv_idle_.wait(lock, [&] { return in_flight_ == 0; });
+}
+
+std::size_t ThreadPool::hardware_threads() noexcept {
+  return std::max(1u, std::thread::hardware_concurrency());
+}
+
+void ThreadPool::run() {
+  std::unique_lock<std::mutex> lock(mu_);
+  for (;;) {
+    cv_work_.wait(lock, [&] { return stopping_ || !queue_.empty(); });
+    if (queue_.empty()) return;  // stopping and drained
+    auto task = std::move(queue_.front());
+    queue_.pop_front();
+    lock.unlock();
+    task();
+    lock.lock();
+    if (--in_flight_ == 0) cv_idle_.notify_all();
+  }
+}
+
+}  // namespace ickpt

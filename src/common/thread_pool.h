@@ -1,0 +1,56 @@
+// Fixed-size worker pool for CPU-bound fan-out (checkpoint page
+// encoding, parallel verification).
+//
+// Deliberately minimal: submit() enqueues a task, wait_idle() blocks
+// until everything submitted so far has finished.  Callers that need
+// per-task completion ordering (the checkpointer's shard stitcher)
+// layer std::promise/std::future on top; the pool itself stays a dumb
+// FIFO so it is easy to reason about under TSan.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace ickpt {
+
+class ThreadPool {
+ public:
+  /// Spawns `threads` workers (clamped to >= 1).
+  explicit ThreadPool(std::size_t threads);
+
+  /// Drains already-submitted tasks, then joins the workers.
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Enqueue one task.  Tasks must not throw; submit() after the
+  /// destructor has begun is undefined (the pool is owned, not shared).
+  void submit(std::function<void()> task);
+
+  /// Block until every task submitted so far has completed.
+  void wait_idle();
+
+  std::size_t thread_count() const noexcept { return workers_.size(); }
+
+  /// std::thread::hardware_concurrency with a floor of 1.
+  static std::size_t hardware_threads() noexcept;
+
+ private:
+  void run();
+
+  mutable std::mutex mu_;
+  std::condition_variable cv_work_;
+  std::condition_variable cv_idle_;
+  std::deque<std::function<void()>> queue_;
+  std::size_t in_flight_ = 0;  ///< queued + currently executing
+  bool stopping_ = false;
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace ickpt

@@ -1,14 +1,17 @@
 #include "core/study.h"
 
 #include <algorithm>
+#include <chrono>
 #include <memory>
 #include <mutex>
 
 #include "apps/catalog.h"
 #include "apps/scripted_kernel.h"
+#include "checkpoint/checkpointer.h"
 #include "minimpi/comm.h"
 #include "sim/sampler.h"
 #include "sim/virtual_clock.h"
+#include "storage/backend.h"
 
 namespace ickpt {
 
@@ -24,6 +27,10 @@ struct RankOutcome {
   trace::WriteTrace write_trace;
   std::uint64_t iterations = 0;
   Status status;
+  std::uint64_t ckpt_objects = 0;
+  std::uint64_t ckpt_bytes = 0;
+  std::uint64_t ckpt_pages = 0;
+  double ckpt_encode_seconds = 0;
 };
 
 /// Body executed by each rank (and by the serial path with comm ==
@@ -57,6 +64,26 @@ RankOutcome run_rank(const StudyConfig& config, double run_vs,
     sopts.recv_probe = [comm] { return comm->bytes_received(); };
     sopts.sent_probe = [comm] { return comm->bytes_sent(); };
   }
+  // Optional real checkpoint chain for rank 0: every slice's snapshot
+  // feeds an incremental checkpointer so the study measures actual
+  // encode/write cost alongside the IWS series.
+  std::unique_ptr<storage::StorageBackend> ckpt_backend;
+  std::unique_ptr<checkpoint::Checkpointer> ckpt;
+  if (!config.checkpoint_dir.empty() && rank == 0) {
+    auto backend = storage::make_file_backend(config.checkpoint_dir);
+    if (!backend.is_ok()) {
+      out.status = backend.status();
+      return out;
+    }
+    ckpt_backend = std::move(backend.value());
+    checkpoint::CheckpointerOptions copts;
+    copts.compress = config.compress;
+    copts.encode_threads = config.encode_threads;
+    copts.async = config.async_writes;
+    ckpt = std::make_unique<checkpoint::Checkpointer>(
+        (*app)->space(), *ckpt_backend, copts);
+  }
+
   out.write_trace = trace::WriteTrace(0, config.timeslice);
   if (config.capture_trace && rank == 0) {
     // Record each slice's dirty pages in a concatenated logical page
@@ -82,6 +109,30 @@ RankOutcome run_rank(const StudyConfig& config, double run_vs,
       out.write_trace.set_region_pages(base);
     };
   }
+  Status ckpt_status;
+  if (ckpt != nullptr) {
+    // Chain behind any trace-capture hook already installed.
+    auto prev = std::move(sopts.on_sample);
+    auto* ckpt_ptr = ckpt.get();
+    sopts.on_sample = [&out, &ckpt_status, ckpt_ptr, prev = std::move(prev)](
+                          const trace::Sample& s,
+                          const memtrack::DirtySnapshot& snap) {
+      if (prev) prev(s, snap);
+      if (!ckpt_status.is_ok()) return;
+      const auto t0 = std::chrono::steady_clock::now();
+      auto meta = ckpt_ptr->checkpoint_incremental(snap, s.t_end);
+      out.ckpt_encode_seconds +=
+          std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+              .count();
+      if (!meta.is_ok()) {
+        ckpt_status = meta.status();
+        return;
+      }
+      ++out.ckpt_objects;
+      out.ckpt_pages += meta->payload_pages;
+    };
+  }
+
   sim::TimesliceSampler sampler(**tracker, clock, sopts);
 
   auto run = [&]() -> Status {
@@ -99,6 +150,12 @@ RankOutcome run_rank(const StudyConfig& config, double run_vs,
   };
   out.status = run();
   if (tracked && sampler.running()) sampler.stop();
+  if (ckpt != nullptr) {
+    auto flushed = ckpt->flush();  // async barrier; no-op in sync mode
+    if (out.status.is_ok() && !flushed.is_ok()) out.status = flushed;
+    out.ckpt_bytes = ckpt_backend->total_bytes_stored();
+  }
+  if (out.status.is_ok() && !ckpt_status.is_ok()) out.status = ckpt_status;
   out.series = sampler.take_series();
   out.iterations = (*app)->iterations();
   return out;
@@ -142,6 +199,10 @@ Result<StudyResult> run_study(const StudyConfig& config) {
   for (auto& o : outcomes) result.per_rank.push_back(std::move(o.series));
 
   result.write_trace = std::move(outcomes[0].write_trace);
+  result.ckpt_objects = outcomes[0].ckpt_objects;
+  result.ckpt_bytes = outcomes[0].ckpt_bytes;
+  result.ckpt_pages = outcomes[0].ckpt_pages;
+  result.ckpt_encode_seconds = outcomes[0].ckpt_encode_seconds;
   result.ib = analysis::compute_ib_stats(result.per_rank[0]);
   result.footprint = analysis::compute_footprint_stats(result.per_rank[0]);
 

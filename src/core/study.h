@@ -30,6 +30,15 @@ struct StudyConfig {
   std::uint64_t seed = 42;
   bool include_init = false;    ///< sample the initialization burst too
   bool capture_trace = false;   ///< record rank 0's dirty pages per slice
+
+  /// When non-empty, rank 0 additionally writes a real incremental
+  /// checkpoint chain to this directory (file backend) at every
+  /// timeslice — the study then measures checkpointing itself, not
+  /// just the dirty-page series it would consume.
+  std::string checkpoint_dir;
+  int encode_threads = 1;       ///< page-encode workers (see Checkpointer)
+  bool async_writes = false;    ///< overlap backend I/O via AsyncWriter
+  bool compress = true;         ///< per-page compression for the chain
 };
 
 struct StudyResult {
@@ -48,6 +57,12 @@ struct StudyResult {
   /// StudyConfig::capture_trace is set) — replayable via
   /// trace::WriteTrace::replay or `ickpt replay`.
   trace::WriteTrace write_trace;
+
+  /// Checkpoint-chain stats (populated when checkpoint_dir is set).
+  std::uint64_t ckpt_objects = 0;   ///< checkpoints written
+  std::uint64_t ckpt_bytes = 0;     ///< bytes stored (compressed)
+  std::uint64_t ckpt_pages = 0;     ///< payload pages covered
+  double ckpt_encode_seconds = 0;   ///< wall time inside the writer
 };
 
 /// Auto run length: enough iterations and enough slices for stable

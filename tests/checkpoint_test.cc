@@ -292,6 +292,98 @@ TEST_F(CheckpointTest, StorageFaultSurfacesAsError) {
   EXPECT_FALSE(storage_->exists(checkpoint_key(0, 0)));
 }
 
+namespace {
+
+/// Fault injector without atomic abort: when armed, the Nth write
+/// fails AND the partial object is committed anyway — modelling sinks
+/// (object stores, raw devices) that keep partial data on error.
+class LeakyFaultBackend final : public storage::StorageBackend {
+ public:
+  explicit LeakyFaultBackend(storage::StorageBackend& inner)
+      : inner_(inner) {}
+
+  /// Fail the write after this many successful ones; -1 = healthy.
+  int fail_after_writes = -1;
+
+  Result<std::unique_ptr<storage::Writer>> create(
+      const std::string& key) override {
+    auto w = inner_.create(key);
+    if (!w.is_ok()) return w.status();
+    return std::unique_ptr<storage::Writer>(
+        new LeakyWriter(std::move(*w), this));
+  }
+  Result<std::unique_ptr<storage::Reader>> open(
+      const std::string& key) override {
+    return inner_.open(key);
+  }
+  Status remove(const std::string& key) override {
+    return inner_.remove(key);
+  }
+  Result<std::vector<std::string>> list() override { return inner_.list(); }
+  bool exists(const std::string& key) override { return inner_.exists(key); }
+  std::uint64_t total_bytes_stored() const noexcept override {
+    return inner_.total_bytes_stored();
+  }
+
+ private:
+  class LeakyWriter final : public storage::Writer {
+   public:
+    LeakyWriter(std::unique_ptr<storage::Writer> inner,
+                LeakyFaultBackend* owner)
+        : inner_(std::move(inner)), owner_(owner) {}
+    Status write(std::span<const std::byte> data) override {
+      if (owner_->fail_after_writes == 0) {
+        (void)inner_->close();  // leak the partial object
+        return io_error("injected write fault");
+      }
+      if (owner_->fail_after_writes > 0) --owner_->fail_after_writes;
+      return inner_->write(data);
+    }
+    Status close() override { return inner_->close(); }
+    std::uint64_t bytes_written() const noexcept override {
+      return inner_->bytes_written();
+    }
+
+   private:
+    std::unique_ptr<storage::Writer> inner_;
+    LeakyFaultBackend* owner_;
+  };
+
+  storage::StorageBackend& inner_;
+};
+
+}  // namespace
+
+TEST_F(CheckpointTest, FailedWriteCleansOrphanAndReusesSequence) {
+  auto a = space_.map(8 * page_size(), AreaKind::kHeap, "a");
+  ASSERT_TRUE(a.is_ok());
+  fill_pattern(a->mem, 5);
+  LeakyFaultBackend leaky(*storage_);
+  Checkpointer ckpt(space_, leaky, CheckpointerOptions{});
+
+  leaky.fail_after_writes = 3;  // die mid-object, after the header
+  auto failed = ckpt.checkpoint_full(0.0);
+  ASSERT_FALSE(failed.is_ok());
+  EXPECT_EQ(failed.status().code(), ErrorCode::kIoError);
+  // The committed partial object must have been removed, the sequence
+  // number rolled back, and the chain left untouched.
+  EXPECT_FALSE(storage_->exists(checkpoint_key(0, 0)));
+  EXPECT_EQ(ckpt.next_sequence(), 0u);
+  EXPECT_TRUE(ckpt.chain().empty());
+
+  // The retry reuses sequence 0 and the store ends up healthy.
+  leaky.fail_after_writes = -1;
+  auto meta = ckpt.checkpoint_full(1.0);
+  ASSERT_TRUE(meta.is_ok());
+  EXPECT_EQ(meta->sequence, 0u);
+  auto keys = storage_->list();
+  ASSERT_TRUE(keys.is_ok());
+  EXPECT_EQ(keys->size(), 1u);
+  auto state = restore_chain(*storage_, 0);
+  ASSERT_TRUE(state.is_ok());
+  expect_blocks_equal(*state, space_);
+}
+
 // --------------------------------------------------- corruption detection
 
 class CorruptionTest : public CheckpointTest {

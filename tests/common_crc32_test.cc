@@ -3,9 +3,24 @@
 #include <gtest/gtest.h>
 
 #include <cstring>
+#include <vector>
+
+#include "common/rng.h"
 
 namespace ickpt {
 namespace {
+
+/// Bit-at-a-time reference implementation (no tables).
+std::uint32_t crc32_reference(std::span<const std::byte> data) {
+  std::uint32_t c = 0xffffffffu;
+  for (std::byte b : data) {
+    c ^= static_cast<std::uint32_t>(b);
+    for (int k = 0; k < 8; ++k) {
+      c = (c & 1u) ? 0xedb88320u ^ (c >> 1) : c >> 1;
+    }
+  }
+  return ~c;
+}
 
 std::span<const std::byte> as_bytes(const char* s) {
   return {reinterpret_cast<const std::byte*>(s), std::strlen(s)};
@@ -43,6 +58,101 @@ TEST(Crc32Test, ResetStartsOver) {
   c.reset();
   c.update(as_bytes("123456789"));
   EXPECT_EQ(c.value(), 0xCBF43926u);
+}
+
+TEST(Crc32Test, SliceBy8MatchesBitwiseReference) {
+  // Random lengths and starting alignments exercise the 8-byte fast
+  // path, the bytewise tail, and unaligned loads.
+  Rng rng(1);
+  std::vector<std::byte> data(4096 + 64);
+  for (auto& b : data) {
+    b = static_cast<std::byte>(rng.next_u64() & 0xff);
+  }
+  for (std::size_t len : {0u, 1u, 7u, 8u, 9u, 63u, 64u, 65u, 1000u, 4096u}) {
+    for (std::size_t align : {0u, 1u, 3u, 7u}) {
+      std::span<const std::byte> view{data.data() + align, len};
+      EXPECT_EQ(crc32(view), crc32_reference(view))
+          << "len=" << len << " align=" << align;
+    }
+  }
+}
+
+TEST(Crc32Test, ChunkedUpdatesMatchOneShot) {
+  Rng rng(2);
+  std::vector<std::byte> data(10000);
+  for (auto& b : data) {
+    b = static_cast<std::byte>(rng.next_u64() & 0xff);
+  }
+  Crc32 inc;
+  std::size_t off = 0;
+  while (off < data.size()) {
+    std::size_t n = std::min<std::size_t>(1 + rng.next_index(977),
+                                          data.size() - off);
+    inc.update({data.data() + off, n});
+    off += n;
+  }
+  EXPECT_EQ(inc.value(), crc32(data));
+}
+
+TEST(Crc32CombineTest, MatchesDirectHashOfConcatenation) {
+  Rng rng(3);
+  std::vector<std::byte> data(8192);
+  for (auto& b : data) {
+    b = static_cast<std::byte>(rng.next_u64() & 0xff);
+  }
+  for (std::size_t split : {0u, 1u, 9u, 4096u, 8191u, 8192u}) {
+    auto a = crc32({data.data(), split});
+    auto b = crc32({data.data() + split, data.size() - split});
+    EXPECT_EQ(crc32_combine(a, b, data.size() - split), crc32(data))
+        << "split=" << split;
+  }
+}
+
+TEST(Crc32CombineTest, ZeroLengthIsIdentity) {
+  auto c = crc32(std::span<const std::byte>{});
+  auto d = crc32_reference(std::span<const std::byte>{});
+  EXPECT_EQ(c, d);
+  EXPECT_EQ(crc32_combine(0x12345678u, c, 0), 0x12345678u);
+}
+
+TEST(Crc32CombineTest, Associativity) {
+  // combine(combine(A,B),C) == combine(A,combine(B,C)) over random
+  // splits — the property the shard stitcher relies on.
+  Rng rng(4);
+  std::vector<std::byte> data(6000);
+  for (auto& b : data) {
+    b = static_cast<std::byte>(rng.next_u64() & 0xff);
+  }
+  for (int trial = 0; trial < 16; ++trial) {
+    std::size_t i = rng.next_index(data.size());
+    std::size_t j = i + rng.next_index(data.size() - i);
+    const std::uint64_t len_b = j - i;
+    const std::uint64_t len_c = data.size() - j;
+    auto a = crc32({data.data(), i});
+    auto b = crc32({data.data() + i, len_b});
+    auto c = crc32({data.data() + j, len_c});
+    auto left = crc32_combine(crc32_combine(a, b, len_b), c, len_c);
+    auto right =
+        crc32_combine(a, crc32_combine(b, c, len_c), len_b + len_c);
+    EXPECT_EQ(left, right) << "i=" << i << " j=" << j;
+    EXPECT_EQ(left, crc32(data));
+  }
+}
+
+TEST(Crc32CombineTest, StreamingCombineMatchesUpdate) {
+  Rng rng(5);
+  std::vector<std::byte> head(100), tail(3000);
+  for (auto& b : head) b = static_cast<std::byte>(rng.next_u64() & 0xff);
+  for (auto& b : tail) b = static_cast<std::byte>(rng.next_u64() & 0xff);
+
+  Crc32 via_update;
+  via_update.update(head);
+  via_update.update(tail);
+
+  Crc32 via_combine;
+  via_combine.update(head);
+  via_combine.combine(crc32(tail), tail.size());
+  EXPECT_EQ(via_combine.value(), via_update.value());
 }
 
 TEST(Crc32Test, SingleBitFlipChangesValue) {

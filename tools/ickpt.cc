@@ -5,8 +5,12 @@
 //
 //   ickpt study --app NAME [--timeslice S] [--ranks N] [--engine E]
 //               [--scale F] [--run-vs S] [--csv FILE] [--phase S]
+//               [--ckpt-dir DIR] [--encode-threads N] [--async]
+//               [--no-compress]
 //       Run a feasibility study and print the measured
 //       characterization, bandwidth requirement and verdict.
+//       With --ckpt-dir it also writes a real full+incremental
+//       checkpoint chain (parallel encode, optional async writer).
 //
 //   ickpt fsck DIR
 //       Verify every checkpoint chain in a file-backend directory.
@@ -14,6 +18,7 @@
 //   ickpt replay TRACE.wt
 //       Replay a saved write trace through the explicit engine and
 //       print the IWS per slice.
+#include <algorithm>
 #include <cstdio>
 #include <iostream>
 #include <cstring>
@@ -43,6 +48,8 @@ int usage() {
                "                   [--engine mprotect|softdirty|uffd|explicit]\n"
                "                   [--scale F] [--run-vs S] [--phase S]\n"
                "                   [--csv FILE] [--trace FILE]\n"
+               "                   [--ckpt-dir DIR] [--encode-threads N]\n"
+               "                   [--async] [--no-compress]\n"
                "       ickpt fsck DIR\n"
                "       ickpt replay TRACE.wt\n");
   return 2;
@@ -51,9 +58,13 @@ int usage() {
 std::map<std::string, std::string> parse_flags(int argc, char** argv,
                                                int first) {
   std::map<std::string, std::string> flags;
-  for (int i = first; i + 1 < argc; i += 2) {
-    if (std::strncmp(argv[i], "--", 2) == 0) {
-      flags[argv[i] + 2] = argv[i + 1];
+  for (int i = first; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--", 2) != 0) continue;
+    const std::string name = argv[i] + 2;
+    if (i + 1 < argc && std::strncmp(argv[i + 1], "--", 2) != 0) {
+      flags[name] = argv[++i];
+    } else {
+      flags[name] = "1";  // valueless boolean flag (--async)
     }
   }
   return flags;
@@ -105,6 +116,14 @@ int cmd_study(int argc, char** argv) {
     trace_path = it->second;
     cfg.capture_trace = true;
   }
+  if (auto it = flags.find("ckpt-dir"); it != flags.end()) {
+    cfg.checkpoint_dir = it->second;
+  }
+  if (auto it = flags.find("encode-threads"); it != flags.end()) {
+    cfg.encode_threads = std::max(1, std::atoi(it->second.c_str()));
+  }
+  if (flags.count("async") != 0) cfg.async_writes = true;
+  if (flags.count("no-compress") != 0) cfg.compress = false;
   if (auto it = flags.find("engine"); it != flags.end()) {
     const std::string& e = it->second;
     if (e == "mprotect") {
@@ -161,6 +180,21 @@ int cmd_study(int argc, char** argv) {
   std::printf("feasibility : %s\n",
               analysis::describe(
                   analysis::assess_feasibility(paper_eq)).c_str());
+
+  if (!cfg.checkpoint_dir.empty()) {
+    const double written_mb =
+        static_cast<double>(r->ckpt_bytes) / static_cast<double>(kMB);
+    const double rate = r->ckpt_encode_seconds > 0
+                            ? written_mb / r->ckpt_encode_seconds
+                            : 0;
+    std::printf(
+        "checkpoints : %llu objects, %s, %.2fs in writer (%.0f MB/s, "
+        "%d encode thread%s%s)\n",
+        static_cast<unsigned long long>(r->ckpt_objects),
+        format_bytes(r->ckpt_bytes).c_str(), r->ckpt_encode_seconds, rate,
+        cfg.encode_threads, cfg.encode_threads == 1 ? "" : "s",
+        cfg.async_writes ? ", async" : "");
+  }
 
   if (auto it = flags.find("csv"); it != flags.end()) {
     auto st = r->per_rank[0].write_csv(it->second);
