@@ -39,14 +39,16 @@ VolumeResult run_app(const std::string& app, double scale, double run_vs,
   auto storage = storage::make_null_backend();
   checkpoint::CheckpointerOptions copts;
   copts.compress = compress;
-  checkpoint::Checkpointer ckpt((*kernel)->space(), *storage, copts);
+  auto ckpt = checkpoint::Checkpointer::create((*kernel)->space(),
+                                             storage.get(), copts)
+                .value();
 
   VolumeResult out;
   sim::SamplerOptions sopts;
   sopts.timeslice = 1.0;
   sopts.on_sample = [&](const trace::Sample& s,
                         const memtrack::DirtySnapshot& snap) {
-    auto meta = ckpt.checkpoint_incremental(snap, s.t_end);
+    auto meta = ckpt->checkpoint_incremental(snap, s.t_end);
     if (!meta.is_ok()) std::exit(1);
     out.zero_pages += meta->zero_pages;
     out.rle_pages += meta->rle_pages;

@@ -40,7 +40,9 @@ VolumeResult run_checkpointed(const std::string& app, double scale,
   if (!(*kernel)->init().is_ok()) std::exit(1);
 
   auto storage = storage::make_memory_backend();
-  checkpoint::Checkpointer ckpt((*kernel)->space(), *storage, {});
+  auto ckpt =
+      checkpoint::Checkpointer::create((*kernel)->space(), storage.get())
+          .value();
 
   sim::SamplerOptions sopts;
   sopts.timeslice = timeslice;
@@ -48,8 +50,8 @@ VolumeResult run_checkpointed(const std::string& app, double scale,
   sopts.on_sample = [&](const trace::Sample& s,
                         const memtrack::DirtySnapshot& snap) {
     Status st = incremental
-                    ? ckpt.checkpoint_incremental(snap, s.t_end).status()
-                    : ckpt.checkpoint_full(s.t_end).status();
+                    ? ckpt->checkpoint_incremental(snap, s.t_end).status()
+                    : ckpt->checkpoint_full(s.t_end).status();
     if (!st.is_ok()) std::exit(1);
     ++count;
   };
@@ -64,8 +66,8 @@ VolumeResult run_checkpointed(const std::string& app, double scale,
     auto snap = engine.collect(/*rearm=*/true);
     if (!snap.is_ok()) std::exit(1);
     Status st = incremental
-                    ? ckpt.checkpoint_incremental(*snap, clock.now()).status()
-                    : ckpt.checkpoint_full(clock.now()).status();
+                    ? ckpt->checkpoint_incremental(*snap, clock.now()).status()
+                    : ckpt->checkpoint_full(clock.now()).status();
     if (!st.is_ok()) std::exit(1);
     ++count;
   }

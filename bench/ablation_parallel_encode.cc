@@ -58,29 +58,40 @@ double time_config(region::AddressSpace& space, int threads, bool compress,
   opts.compress = compress;
   opts.encode_threads = threads;
   opts.async = async;
-  checkpoint::Checkpointer ckpt(space, *storage, opts);
+  auto ckpt =
+      checkpoint::Checkpointer::create(space, storage.get(), opts).value();
 
   const auto t0 = std::chrono::steady_clock::now();
   for (int r = 0; r < reps; ++r) {
-    auto meta = ckpt.checkpoint_full(static_cast<double>(r));
+    auto meta = ckpt->checkpoint_full(static_cast<double>(r));
     if (!meta.is_ok()) {
       std::cerr << "checkpoint failed: " << meta.status().to_string()
                 << "\n";
       std::exit(1);
     }
   }
-  if (!ckpt.flush().is_ok()) std::exit(1);
+  if (!ckpt->flush().is_ok()) std::exit(1);
   return std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
       .count();
 }
 
 }  // namespace
 
-int main() {
-  const std::size_t mb = quick_mode() ? 16 : 64;
-  const int reps = quick_mode() ? 1 : 3;
+int main(int argc, char** argv) {
+  BenchArgs args;
+  int mb_flag = 0;
+  int reps_flag = 0;
+  FlagSet flags("ablation_parallel_encode");
+  args.register_flags(flags);
+  flags.add_int("mb", &mb_flag, "dirty-set size in MB (0 = default)");
+  flags.add_int("reps", &reps_flag, "full checkpoints per config (0 = default)");
+  parse_or_exit(flags, argc, argv);
+
+  const std::size_t mb =
+      mb_flag > 0 ? static_cast<std::size_t>(mb_flag) : (args.quick ? 16 : 64);
+  const int reps = reps_flag > 0 ? reps_flag : (args.quick ? 1 : 3);
   const std::vector<int> thread_sweep =
-      quick_mode() ? std::vector<int>{1, 4} : std::vector<int>{1, 2, 4, 8};
+      args.quick ? std::vector<int>{1, 4} : std::vector<int>{1, 2, 4, 8};
 
   memtrack::ExplicitEngine engine;
   region::AddressSpace space(engine, "bench");

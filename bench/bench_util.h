@@ -6,6 +6,10 @@
 //
 //   ICKPT_BENCH_SCALE   footprint scale (default 1/16)
 //   ICKPT_BENCH_QUICK   if set non-empty, shorter runs / fewer points
+//
+// Benches that take command-line flags declare them through
+// common/flags (BenchArgs binds --scale/--quick with the env values as
+// defaults); unknown flags are hard errors.
 #pragma once
 
 #include <cstdlib>
@@ -13,6 +17,7 @@
 #include <string>
 #include <vector>
 
+#include "common/flags.h"
 #include "common/table.h"
 #include "common/units.h"
 #include "core/study.h"
@@ -30,6 +35,29 @@ inline double bench_scale() {
 inline bool quick_mode() {
   const char* env = std::getenv("ICKPT_BENCH_QUICK");
   return env != nullptr && env[0] != '\0';
+}
+
+/// The standard bench knobs as typed flags; the environment variables
+/// remain the defaults so existing invocations keep working.
+struct BenchArgs {
+  double scale = bench_scale();
+  bool quick = quick_mode();
+
+  void register_flags(FlagSet& flags) {
+    flags.add_double("scale", &scale,
+                     "footprint scale (default: env ICKPT_BENCH_SCALE)");
+    flags.add_bool("quick", &quick,
+                   "shorter runs (default: env ICKPT_BENCH_QUICK)");
+  }
+};
+
+/// Parse or die: benches have no error path worth recovering.
+inline void parse_or_exit(FlagSet& flags, int argc, char* const* argv) {
+  auto st = flags.parse(argc, argv, 1);
+  if (!st.is_ok()) {
+    std::cerr << st.to_string() << "\n" << flags.help();
+    std::exit(2);
+  }
 }
 
 /// Unscale a measured byte quantity back to paper-equivalent MB.

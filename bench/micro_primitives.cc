@@ -152,9 +152,10 @@ void BM_CheckpointSerialize(benchmark::State& state) {
   if (!block.is_ok()) state.SkipWithError("map failed");
   std::memset(block->mem.data(), 0x42, block->mem.size());
   auto storage = storage::make_null_backend();
-  checkpoint::Checkpointer ckpt(space, *storage, {});
+  auto ckpt =
+      checkpoint::Checkpointer::create(space, storage.get()).value();
   for (auto _ : state) {
-    auto meta = ckpt.checkpoint_full(0.0);
+    auto meta = ckpt->checkpoint_full(0.0);
     if (!meta.is_ok()) state.SkipWithError("checkpoint failed");
     benchmark::DoNotOptimize(meta);
   }

@@ -74,7 +74,9 @@ int main(int argc, char** argv) {
     auto* step_counter = reinterpret_cast<std::int64_t*>(
         step_blk->mem.data());
 
-    checkpoint::Checkpointer ckpt(space, **storage, {});
+    auto made = checkpoint::Checkpointer::create(space, storage->get());
+    if (!made.is_ok()) return 1;
+    auto ckpt = std::move(made.value());
     if (!engine.arm().is_ok()) return 1;
 
     for (int s = 0; s < sweeps; ++s) {
@@ -89,7 +91,7 @@ int main(int argc, char** argv) {
       if ((s + 1) % ckpt_every == 0) {
         auto snap = engine.collect(/*rearm=*/true);
         if (!snap.is_ok()) return 1;
-        auto meta = ckpt.checkpoint_incremental(*snap,
+        auto meta = ckpt->checkpoint_incremental(*snap,
                                                 static_cast<double>(s + 1));
         if (!meta.is_ok()) {
           std::fprintf(stderr, "checkpoint: %s\n",

@@ -22,11 +22,15 @@ constexpr std::size_t kChunkBytes = 256 * kKB;
 /// values, like any real field) the resulting pages are incompressible
 /// noise rather than artificial constants.
 void compute_over(std::byte* p, std::size_t len) {
-  auto* words = reinterpret_cast<std::uint64_t*>(p);
+  // The chunk may start at any byte offset within a tracked block, so
+  // go through memcpy: same codegen, no misaligned-load UB.
   std::size_t n = len / sizeof(std::uint64_t);
   for (std::size_t i = 0; i < n; ++i) {
-    words[i] = words[i] * 2862933555777941757ull + 3037000493ull +
-               (static_cast<std::uint64_t>(i) << 32 | i);
+    std::uint64_t w;
+    std::memcpy(&w, p + i * sizeof(w), sizeof(w));
+    w = w * 2862933555777941757ull + 3037000493ull +
+        (static_cast<std::uint64_t>(i) << 32 | i);
+    std::memcpy(p + i * sizeof(w), &w, sizeof(w));
   }
   if (std::size_t tail = len % sizeof(std::uint64_t); tail != 0) {
     std::memset(p + len - tail, 0x5c, tail);

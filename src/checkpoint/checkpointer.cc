@@ -1,6 +1,7 @@
 #include "checkpoint/checkpointer.h"
 
 #include <algorithm>
+#include <chrono>
 #include <cstdio>
 #include <cstring>
 #include <future>
@@ -10,8 +11,51 @@
 #include "checkpoint/compress.h"
 #include "common/crc32.h"
 #include "common/page.h"
+#include "obs/timer.h"
 
 namespace ickpt::checkpoint {
+
+namespace {
+
+/// Stage metrics for the encode pipeline.  Handles are resolved once;
+/// workers and the calling thread record via relaxed atomics only.
+struct CkptMetrics {
+  obs::Counter& objects;
+  obs::Counter& full;
+  obs::Counter& incremental;
+  obs::Counter& pages;
+  obs::Counter& file_bytes;
+  obs::Counter& shards;
+  obs::Counter& zero_pages;
+  obs::Counter& rle_pages;
+  obs::Histogram& plan_ns;
+  obs::Histogram& encode_ns;
+  obs::Histogram& crc_ns;
+  obs::Histogram& write_ns;
+  obs::Histogram& encode_stall_ns;
+  obs::Histogram& flush_ns;
+
+  static CkptMetrics& get() {
+    auto& r = obs::registry();
+    static CkptMetrics m{r.counter("ckpt.objects"),
+                         r.counter("ckpt.full"),
+                         r.counter("ckpt.incremental"),
+                         r.counter("ckpt.pages"),
+                         r.counter("ckpt.file_bytes"),
+                         r.counter("ckpt.shards"),
+                         r.counter("ckpt.zero_pages"),
+                         r.counter("ckpt.rle_pages"),
+                         r.histogram("ckpt.plan_ns"),
+                         r.histogram("ckpt.encode_ns"),
+                         r.histogram("ckpt.crc_ns"),
+                         r.histogram("ckpt.write_ns"),
+                         r.histogram("ckpt.encode_stall_ns"),
+                         r.histogram("ckpt.flush_ns")};
+    return m;
+  }
+};
+
+}  // namespace
 
 std::string checkpoint_key(std::uint32_t rank, std::uint64_t sequence) {
   char buf[64];
@@ -20,7 +64,7 @@ std::string checkpoint_key(std::uint32_t rank, std::uint64_t sequence) {
   return buf;
 }
 
-Checkpointer::Checkpointer(region::AddressSpace& space,
+Checkpointer::Checkpointer(Validated, region::AddressSpace& space,
                            storage::StorageBackend& storage,
                            CheckpointerOptions options)
     : space_(space), storage_(storage), options_(options) {
@@ -31,6 +75,37 @@ Checkpointer::Checkpointer(region::AddressSpace& space,
   if (options_.async) {
     async_ = std::make_unique<storage::AsyncWriter>(storage_);
   }
+}
+
+Checkpointer::Checkpointer(region::AddressSpace& space,
+                           storage::StorageBackend& storage,
+                           CheckpointerOptions options)
+    : Checkpointer(Validated{}, space, storage, [&] {
+        options.encode_threads = std::max(1, options.encode_threads);
+        return options;
+      }()) {}
+
+Result<std::unique_ptr<Checkpointer>> Checkpointer::create(
+    region::AddressSpace& space, storage::StorageBackend* storage,
+    CheckpointerOptions options) {
+  if (storage == nullptr) {
+    return invalid_argument("Checkpointer: storage backend must not be null");
+  }
+  if (options.encode_threads < 1 ||
+      options.encode_threads > kMaxEncodeThreads) {
+    return invalid_argument(
+        "Checkpointer: encode_threads must be in [1, " +
+        std::to_string(kMaxEncodeThreads) + "], got " +
+        std::to_string(options.encode_threads));
+  }
+  if (options.full_every > kMaxFullEvery) {
+    return invalid_argument(
+        "Checkpointer: full_every " + std::to_string(options.full_every) +
+        " exceeds " + std::to_string(kMaxFullEvery) +
+        " (likely an overflowed or negative value)");
+  }
+  return std::unique_ptr<Checkpointer>(
+      new Checkpointer(Validated{}, space, *storage, options));
 }
 
 namespace {
@@ -110,6 +185,8 @@ void append(std::vector<std::byte>& buf, const void* data, std::size_t len) {
 }
 
 void encode_shard(EncodeShard& shard, std::size_t psize, bool compress) {
+  auto& metrics = CkptMetrics::get();
+  obs::ScopedTimer encode_timer(metrics.encode_ns);
   shard.buf.reserve(shard.page_count * (sizeof(PageRecord) + psize));
   std::vector<std::byte> payload;
   for (std::uint32_t p = 0; p < shard.page_count; ++p) {
@@ -132,7 +209,11 @@ void encode_shard(EncodeShard& shard, std::size_t psize, bool compress) {
       append(shard.buf, page_data, psize);
     }
   }
-  shard.crc = crc32(shard.buf);
+  {
+    obs::ScopedTimer crc_timer(metrics.crc_ns);
+    shard.crc = crc32(shard.buf);
+  }
+  metrics.shards.inc();
 }
 
 /// Shard granularity: enough shards to balance `threads` workers,
@@ -187,6 +268,8 @@ Result<CheckpointMeta> Checkpointer::write_checkpoint(
 Result<CheckpointMeta> Checkpointer::write_object(
     Kind kind, const memtrack::DirtySnapshot* snapshot, double virtual_time,
     std::uint64_t seq, const std::string& key) {
+  auto& metrics = CkptMetrics::get();
+  obs::ScopedTimer plan_timer(metrics.plan_ns);
   const auto blocks = space_.blocks();
   const std::size_t psize = page_size();
 
@@ -244,6 +327,9 @@ Result<CheckpointMeta> Checkpointer::write_object(
       }
     }
   }
+
+  plan_timer.stop();
+  obs::ScopedTimer write_timer(metrics.write_ns);
 
   // Workers encode shards out of order; the stitcher consumes them in
   // file order as each completes, so writing overlaps encoding.  The
@@ -319,7 +405,16 @@ Result<CheckpointMeta> Checkpointer::write_object(
       for (std::uint32_t off = 0; off < run.page_count; off += shard_pages) {
         EncodeShard& s = shards[shard_idx];
         if (shard_idx < encoded.size()) {
-          encoded[shard_idx].wait();
+          auto& done = encoded[shard_idx];
+          if (done.wait_for(std::chrono::seconds(0)) !=
+              std::future_status::ready) {
+            // The stitcher outran the workers: record the bubble.
+            obs::StallClock stall;
+            done.wait();
+            if (obs::enabled()) {
+              metrics.encode_stall_ns.record(stall.elapsed_ns());
+            }
+          }
         } else {
           encode_shard(s, psize, options_.compress);
         }
@@ -353,11 +448,19 @@ Result<CheckpointMeta> Checkpointer::write_object(
   if (vec != nullptr) {
     ICKPT_RETURN_IF_ERROR(async_->submit(key, vec->take()));
   }
+
+  metrics.objects.inc();
+  (kind == Kind::kFull ? metrics.full : metrics.incremental).inc();
+  metrics.pages.inc(payload_pages);
+  metrics.file_bytes.inc(meta.file_bytes);
+  metrics.zero_pages.inc(zero_pages);
+  metrics.rle_pages.inc(rle_pages);
   return meta;
 }
 
 Status Checkpointer::flush() {
   if (async_ == nullptr) return Status::ok();
+  obs::ScopedTimer timer(CkptMetrics::get().flush_ns);
   return async_->flush();
 }
 

@@ -23,6 +23,10 @@
 
 namespace ickpt::checkpoint {
 
+/// Validation bounds enforced by Checkpointer::create().
+inline constexpr int kMaxEncodeThreads = 1024;
+inline constexpr std::uint64_t kMaxFullEvery = 1ull << 32;
+
 struct CheckpointerOptions {
   std::uint32_t rank = 0;
   /// Re-seed with a full checkpoint every N checkpoints (0 = only the
@@ -52,6 +56,16 @@ struct CheckpointMeta {
 
 class Checkpointer {
  public:
+  /// Validating factory (mirrors Monitor::create): rejects a null
+  /// backend, nonsensical `encode_threads` and implausible
+  /// `full_every` values instead of silently misbehaving later.
+  static Result<std::unique_ptr<Checkpointer>> create(
+      region::AddressSpace& space, storage::StorageBackend* storage,
+      CheckpointerOptions options = {});
+
+  /// Deprecated shim: constructs without validation, clamping
+  /// `encode_threads` to at least 1.  Use create() instead.
+  [[deprecated("use Checkpointer::create(), which validates options")]]
   Checkpointer(region::AddressSpace& space, storage::StorageBackend& storage,
                CheckpointerOptions options = {});
 
@@ -82,6 +96,10 @@ class Checkpointer {
   std::uint64_t next_sequence() const noexcept { return next_seq_; }
 
  private:
+  struct Validated {};  // tag: options already checked / sanitized
+  Checkpointer(Validated, region::AddressSpace& space,
+               storage::StorageBackend& storage, CheckpointerOptions options);
+
   Result<CheckpointMeta> write_checkpoint(
       Kind kind, const memtrack::DirtySnapshot* snapshot,
       double virtual_time);

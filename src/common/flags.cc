@@ -1,0 +1,149 @@
+#include "common/flags.h"
+
+#include <cerrno>
+#include <climits>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+namespace ickpt {
+
+namespace {
+
+std::string format_default(const std::string& v) { return v; }
+
+}  // namespace
+
+void FlagSet::add_string(std::string name, std::string* target,
+                         std::string help) {
+  flags_.push_back(Flag{std::move(name), Type::kString, target,
+                        std::move(help), format_default(*target)});
+}
+
+void FlagSet::add_int(std::string name, int* target, std::string help) {
+  flags_.push_back(Flag{std::move(name), Type::kInt, target, std::move(help),
+                        std::to_string(*target)});
+}
+
+void FlagSet::add_double(std::string name, double* target, std::string help) {
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%g", *target);
+  flags_.push_back(
+      Flag{std::move(name), Type::kDouble, target, std::move(help), buf});
+}
+
+void FlagSet::add_bool(std::string name, bool* target, std::string help) {
+  flags_.push_back(Flag{std::move(name), Type::kBool, target, std::move(help),
+                        *target ? "true" : "false"});
+}
+
+const FlagSet::Flag* FlagSet::find(const std::string& name) const {
+  for (const auto& f : flags_) {
+    if (f.name == name) return &f;
+  }
+  return nullptr;
+}
+
+Status FlagSet::set_value(const Flag& flag, const std::string& value) {
+  switch (flag.type) {
+    case Type::kString:
+      *static_cast<std::string*>(flag.target) = value;
+      return Status::ok();
+    case Type::kInt: {
+      errno = 0;
+      char* end = nullptr;
+      long v = std::strtol(value.c_str(), &end, 10);
+      if (value.empty() || end == nullptr || *end != '\0' || errno != 0 ||
+          v < INT_MIN || v > INT_MAX) {
+        return invalid_argument("--" + flag.name + ": '" + value +
+                                "' is not an integer");
+      }
+      *static_cast<int*>(flag.target) = static_cast<int>(v);
+      return Status::ok();
+    }
+    case Type::kDouble: {
+      errno = 0;
+      char* end = nullptr;
+      double v = std::strtod(value.c_str(), &end);
+      if (value.empty() || end == nullptr || *end != '\0' || errno != 0) {
+        return invalid_argument("--" + flag.name + ": '" + value +
+                                "' is not a number");
+      }
+      *static_cast<double*>(flag.target) = v;
+      return Status::ok();
+    }
+    case Type::kBool: {
+      if (value == "true" || value == "1" || value == "yes") {
+        *static_cast<bool*>(flag.target) = true;
+        return Status::ok();
+      }
+      if (value == "false" || value == "0" || value == "no") {
+        *static_cast<bool*>(flag.target) = false;
+        return Status::ok();
+      }
+      return invalid_argument("--" + flag.name + ": '" + value +
+                              "' is not a boolean (true|false|1|0|yes|no)");
+    }
+  }
+  return internal_error("unreachable flag type");
+}
+
+Status FlagSet::parse(int argc, char* const* argv, int first) {
+  positional_.clear();
+  for (int i = first; i < argc; ++i) {
+    const char* arg = argv[i];
+    if (std::strncmp(arg, "--", 2) != 0) {
+      if (!allow_positional_) {
+        return invalid_argument(program_ + ": unexpected argument '" +
+                                std::string(arg) + "'");
+      }
+      positional_.emplace_back(arg);
+      continue;
+    }
+    std::string name = arg + 2;
+    std::string value;
+    bool has_value = false;
+    if (auto eq = name.find('='); eq != std::string::npos) {
+      value = name.substr(eq + 1);
+      name = name.substr(0, eq);
+      has_value = true;
+    }
+    const Flag* flag = find(name);
+    if (flag == nullptr) {
+      return invalid_argument(program_ + ": unknown flag '--" + name +
+                              "' (see --help)");
+    }
+    if (flag->type == Type::kBool) {
+      ICKPT_RETURN_IF_ERROR(set_value(*flag, has_value ? value : "true"));
+      continue;
+    }
+    if (!has_value) {
+      // The value is the next argument — unless there is none or it is
+      // itself a flag, which means the value was forgotten.
+      if (i + 1 >= argc || std::strncmp(argv[i + 1], "--", 2) == 0) {
+        return invalid_argument(program_ + ": flag '--" + name +
+                                "' requires a value");
+      }
+      value = argv[++i];
+    }
+    ICKPT_RETURN_IF_ERROR(set_value(*flag, value));
+  }
+  return Status::ok();
+}
+
+std::string FlagSet::help() const {
+  static constexpr const char* kTypeNames[] = {"string", "int", "double",
+                                               "bool"};
+  std::string out = program_ + " flags:\n";
+  for (const auto& f : flags_) {
+    std::string line = "  --" + f.name + "=<" +
+                       kTypeNames[static_cast<int>(f.type)] + ">";
+    if (line.size() < 28) line.resize(28, ' ');
+    line += f.help;
+    line += " (default: " + f.default_str + ")\n";
+    out += line;
+  }
+  return out;
+}
+
+}  // namespace ickpt

@@ -23,8 +23,17 @@ Result<std::unique_ptr<RecoverableRun>> RecoverableRun::create(
   }
   auto tracker = memtrack::make_tracker(options.engine);
   if (!tracker.is_ok()) return tracker.status();
-  return std::unique_ptr<RecoverableRun>(
+  std::unique_ptr<RecoverableRun> run(
       new RecoverableRun(backend, options, std::move(tracker.value())));
+  // Built through the validating factory so bad options surface here,
+  // not as misbehaviour deep inside the run.
+  checkpoint::CheckpointerOptions copts;
+  copts.rank = options.rank;
+  copts.full_every = options.full_every;
+  auto ckpt = checkpoint::Checkpointer::create(*run->space_, &backend, copts);
+  if (!ckpt.is_ok()) return ckpt.status();
+  run->checkpointer_ = std::move(ckpt.value());
+  return run;
 }
 
 RecoverableRun::RecoverableRun(
@@ -33,11 +42,6 @@ RecoverableRun::RecoverableRun(
     : backend_(backend), options_(options), tracker_(std::move(tracker)) {
   space_ = std::make_unique<region::AddressSpace>(
       *tracker_, "rank" + std::to_string(options_.rank));
-  checkpoint::CheckpointerOptions copts;
-  copts.rank = options_.rank;
-  copts.full_every = options_.full_every;
-  checkpointer_ = std::make_unique<checkpoint::Checkpointer>(
-      *space_, backend_, copts);
 }
 
 RecoverableRun::~RecoverableRun() = default;

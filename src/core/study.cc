@@ -9,6 +9,7 @@
 #include "apps/scripted_kernel.h"
 #include "checkpoint/checkpointer.h"
 #include "minimpi/comm.h"
+#include "obs/metrics.h"
 #include "sim/sampler.h"
 #include "sim/virtual_clock.h"
 #include "storage/backend.h"
@@ -68,6 +69,7 @@ RankOutcome run_rank(const StudyConfig& config, double run_vs,
   // feeds an incremental checkpointer so the study measures actual
   // encode/write cost alongside the IWS series.
   std::unique_ptr<storage::StorageBackend> ckpt_backend;
+  std::unique_ptr<storage::MeteredBackend> ckpt_metered;
   std::unique_ptr<checkpoint::Checkpointer> ckpt;
   if (!config.checkpoint_dir.empty() && rank == 0) {
     auto backend = storage::make_file_backend(config.checkpoint_dir);
@@ -76,12 +78,21 @@ RankOutcome run_rank(const StudyConfig& config, double run_vs,
       return out;
     }
     ckpt_backend = std::move(backend.value());
+    // The metered decorator feeds the "ckpt.store.*" registry metrics
+    // (object count, bytes, write-latency histogram).
+    ckpt_metered = std::make_unique<storage::MeteredBackend>(*ckpt_backend,
+                                                             "ckpt.store");
     checkpoint::CheckpointerOptions copts;
     copts.compress = config.compress;
     copts.encode_threads = config.encode_threads;
     copts.async = config.async_writes;
-    ckpt = std::make_unique<checkpoint::Checkpointer>(
-        (*app)->space(), *ckpt_backend, copts);
+    auto made = checkpoint::Checkpointer::create((*app)->space(),
+                                                 ckpt_metered.get(), copts);
+    if (!made.is_ok()) {
+      out.status = made.status();
+      return out;
+    }
+    ckpt = std::move(made.value());
   }
 
   out.write_trace = trace::WriteTrace(0, config.timeslice);
@@ -205,6 +216,7 @@ Result<StudyResult> run_study(const StudyConfig& config) {
   result.ckpt_encode_seconds = outcomes[0].ckpt_encode_seconds;
   result.ib = analysis::compute_ib_stats(result.per_rank[0]);
   result.footprint = analysis::compute_footprint_stats(result.per_rank[0]);
+  result.metrics = obs::registry().snapshot();
 
   double acc = 0;
   int n = 0;

@@ -13,6 +13,7 @@
 #include "analysis/metrics.h"
 #include "common/status.h"
 #include "memtrack/tracker.h"
+#include "obs/metrics.h"
 #include "trace/time_series.h"
 #include "trace/write_trace.h"
 
@@ -63,6 +64,12 @@ struct StudyResult {
   std::uint64_t ckpt_bytes = 0;     ///< bytes stored (compressed)
   std::uint64_t ckpt_pages = 0;     ///< payload pages covered
   double ckpt_encode_seconds = 0;   ///< wall time inside the writer
+
+  /// Process-wide observability snapshot taken when the study ended:
+  /// fault-handler cost, per-stage checkpoint timing, storage and
+  /// async-queue metrics (see obs/metrics.h).  `ickpt study --stats`
+  /// prints it; obs::Snapshot::to_json() serializes it.
+  obs::Snapshot metrics;
 };
 
 /// Auto run length: enough iterations and enough slices for stable

@@ -6,6 +6,7 @@
 #include <cstdlib>
 
 #include "common/page.h"
+#include "obs/metrics.h"
 
 namespace ickpt::memtrack::detail {
 
@@ -13,6 +14,19 @@ namespace {
 
 struct sigaction g_prev_action;
 bool g_have_prev = false;
+
+// Registered once, on a normal thread, before the handler can run;
+// after that the handler only touches them with relaxed atomics
+// (see the signal-safety contract in obs/metrics.h).
+obs::Counter* g_fault_counter = nullptr;
+obs::Histogram* g_fault_hist = nullptr;
+
+// Latency is sampled 1-in-64: at tight timeslices a run takes tens of
+// thousands of faults, and two clock reads on every one of them is a
+// measurable slowdown of the very path the histogram describes.  The
+// counter still counts every fault.
+constexpr std::uint64_t kFaultSampleMask = 63;
+std::atomic<std::uint64_t> g_fault_sample{0};
 
 void segv_handler(int sig, siginfo_t* info, void* uctx) {
   auto addr = reinterpret_cast<std::uintptr_t>(info->si_addr);
@@ -45,6 +59,8 @@ FaultTable& FaultTable::instance() {
 void FaultTable::ensure_handler_installed() {
   static std::once_flag once;
   std::call_once(once, [] {
+    g_fault_counter = &obs::registry().counter("memtrack.faults");
+    g_fault_hist = &obs::registry().histogram("memtrack.fault_ns");
     struct sigaction sa = {};
     sa.sa_sigaction = &segv_handler;
     sa.sa_flags = SA_SIGINFO | SA_NODEFER;
@@ -122,6 +138,12 @@ void FaultTable::update_range(int slot, std::uintptr_t begin,
 }
 
 bool FaultTable::handle_fault(std::uintptr_t addr) noexcept {
+  const std::uint64_t t0 =
+      g_fault_hist != nullptr && obs::enabled() &&
+              (g_fault_sample.fetch_add(1, std::memory_order_relaxed) &
+               kFaultSampleMask) == 0
+          ? obs::now_ns()
+          : 0;
   const std::size_t psize = page_size();
   const unsigned shift = page_shift();
   const int hw = high_water_.load(std::memory_order_acquire);
@@ -150,6 +172,8 @@ bool FaultTable::handle_fault(std::uintptr_t addr) noexcept {
     // Unprotect so later writes in this interval run at full speed.
     ::mprotect(reinterpret_cast<void*>(page_addr), n * psize,
                PROT_READ | PROT_WRITE);
+    if (g_fault_counter != nullptr) g_fault_counter->inc();
+    if (t0 != 0) g_fault_hist->record(obs::now_ns() - t0);
     return true;
   }
   return false;

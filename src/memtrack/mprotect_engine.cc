@@ -6,10 +6,29 @@
 #include <cstring>
 
 #include "memtrack/fault_table.h"
+#include "obs/timer.h"
 
 namespace ickpt::memtrack {
 
 using detail::FaultTable;
+
+namespace {
+
+/// Handles are resolved once; arm/collect record via relaxed atomics.
+struct EngineMetrics {
+  obs::Histogram& arm_ns;
+  obs::Histogram& collect_ns;
+  obs::Counter& pages_protected;
+
+  static EngineMetrics& get() {
+    static EngineMetrics m{obs::registry().histogram("memtrack.arm_ns"),
+                           obs::registry().histogram("memtrack.collect_ns"),
+                           obs::registry().counter("memtrack.pages_protected")};
+    return m;
+  }
+};
+
+}  // namespace
 
 struct MProtectEngine::Region {
   RegionId id = kInvalidRegion;
@@ -85,11 +104,15 @@ Status MProtectEngine::detach(RegionId id) {
 
 Status MProtectEngine::arm() {
   std::lock_guard<std::mutex> lock(mu_);
+  obs::ScopedTimer timer(EngineMetrics::get().arm_ns);
+  std::uint64_t pages = 0;
   for (auto& [id, r] : regions_) {
     r->bitmap.clear();
     ICKPT_RETURN_IF_ERROR(protect_region(*r, /*readonly=*/true));
     FaultTable::instance().set_armed(r->slot, true);
+    pages += r->range.pages();
   }
+  EngineMetrics::get().pages_protected.inc(pages);
   armed_ = true;
   ++arms_;
   return Status::ok();
@@ -97,6 +120,7 @@ Status MProtectEngine::arm() {
 
 Result<DirtySnapshot> MProtectEngine::collect(bool rearm) {
   std::lock_guard<std::mutex> lock(mu_);
+  obs::ScopedTimer timer(EngineMetrics::get().collect_ns);
   DirtySnapshot snap;
   snap.regions.reserve(regions_.size());
   for (auto& [id, r] : regions_) {
@@ -106,6 +130,7 @@ Result<DirtySnapshot> MProtectEngine::collect(bool rearm) {
     // alarm handler has.
     ICKPT_RETURN_IF_ERROR(protect_region(*r, /*readonly=*/rearm));
     FaultTable::instance().set_armed(r->slot, rearm);
+    if (rearm) EngineMetrics::get().pages_protected.inc(r->range.pages());
     RegionDirty rd;
     rd.id = id;
     rd.name = r->name;

@@ -7,9 +7,23 @@
 #include <cerrno>
 #include <cstring>
 
+#include "obs/timer.h"
+
 namespace ickpt::memtrack {
 
 namespace {
+
+struct SoftDirtyMetrics {
+  obs::Histogram& collect_ns;
+  obs::Counter& pages_scanned;
+
+  static SoftDirtyMetrics& get() {
+    static SoftDirtyMetrics m{
+        obs::registry().histogram("memtrack.collect_ns"),
+        obs::registry().counter("memtrack.pagemap_pages_scanned")};
+    return m;
+  }
+};
 
 constexpr std::uint64_t kSoftDirtyBit = 1ull << 55;
 
@@ -138,6 +152,7 @@ Status SoftDirtyEngine::scan_region(const Region& r,
     }
     done += entries;
     pages_scanned_ += entries;
+    SoftDirtyMetrics::get().pages_scanned.inc(entries);
   }
   return Status::ok();
 }
@@ -151,6 +166,7 @@ Status SoftDirtyEngine::arm() {
 
 Result<DirtySnapshot> SoftDirtyEngine::collect(bool rearm) {
   std::lock_guard<std::mutex> lock(mu_);
+  obs::ScopedTimer timer(SoftDirtyMetrics::get().collect_ns);
   DirtySnapshot snap;
   snap.regions.reserve(regions_.size());
   for (const auto& [id, r] : regions_) {

@@ -1,0 +1,321 @@
+#include "obs/metrics.h"
+
+#include <time.h>
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+namespace ickpt::obs {
+
+namespace {
+
+std::atomic<bool> g_enabled{true};
+
+/// Geometric midpoint of bucket i (values in [2^(i-1), 2^i)).
+double bucket_mid(int i) noexcept {
+  if (i == 0) return 0.0;
+  double lo = std::ldexp(1.0, i - 1);
+  return lo * 1.5;
+}
+
+void append_escaped(std::string& out, std::string_view s) {
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+}
+
+void append_u64(std::string& out, std::uint64_t v) {
+  char buf[24];
+  std::snprintf(buf, sizeof buf, "%llu", static_cast<unsigned long long>(v));
+  out += buf;
+}
+
+void append_i64(std::string& out, std::int64_t v) {
+  char buf[24];
+  std::snprintf(buf, sizeof buf, "%lld", static_cast<long long>(v));
+  out += buf;
+}
+
+void append_double(std::string& out, double v) {
+  char buf[40];
+  std::snprintf(buf, sizeof buf, "%.6g", v);
+  out += buf;
+}
+
+/// Format a histogram value for the console table, honouring the unit.
+std::string fmt_value(double v, Unit unit) {
+  char buf[48];
+  switch (unit) {
+    case Unit::kNanoseconds:
+      if (v >= 1e9) {
+        std::snprintf(buf, sizeof buf, "%.2f s", v / 1e9);
+      } else if (v >= 1e6) {
+        std::snprintf(buf, sizeof buf, "%.2f ms", v / 1e6);
+      } else if (v >= 1e3) {
+        std::snprintf(buf, sizeof buf, "%.2f us", v / 1e3);
+      } else {
+        std::snprintf(buf, sizeof buf, "%.0f ns", v);
+      }
+      return buf;
+    case Unit::kBytes:
+      if (v >= 1024.0 * 1024.0 * 1024.0) {
+        std::snprintf(buf, sizeof buf, "%.2f GB", v / (1024.0 * 1024.0 * 1024.0));
+      } else if (v >= 1024.0 * 1024.0) {
+        std::snprintf(buf, sizeof buf, "%.2f MB", v / (1024.0 * 1024.0));
+      } else if (v >= 1024.0) {
+        std::snprintf(buf, sizeof buf, "%.2f KB", v / 1024.0);
+      } else {
+        std::snprintf(buf, sizeof buf, "%.0f B", v);
+      }
+      return buf;
+    case Unit::kNone:
+      std::snprintf(buf, sizeof buf, "%.6g", v);
+      return buf;
+  }
+  return "?";
+}
+
+}  // namespace
+
+bool enabled() noexcept { return g_enabled.load(std::memory_order_relaxed); }
+
+void set_enabled(bool on) noexcept {
+  g_enabled.store(on, std::memory_order_relaxed);
+}
+
+std::uint64_t now_ns() noexcept {
+  timespec ts;
+  clock_gettime(CLOCK_MONOTONIC, &ts);
+  return static_cast<std::uint64_t>(ts.tv_sec) * 1000000000ull +
+         static_cast<std::uint64_t>(ts.tv_nsec);
+}
+
+std::uint64_t Histogram::min() const noexcept {
+  std::uint64_t v = min_.load(std::memory_order_relaxed);
+  return v == ~0ull ? 0 : v;
+}
+
+double Histogram::mean() const noexcept {
+  std::uint64_t n = count();
+  return n > 0 ? static_cast<double>(sum()) / static_cast<double>(n) : 0.0;
+}
+
+double Histogram::approx_quantile(double q) const noexcept {
+  const std::uint64_t n = count();
+  if (n == 0) return 0.0;
+  q = std::clamp(q, 0.0, 1.0);
+  const double target = q * static_cast<double>(n);
+  double seen = 0;
+  for (int i = 0; i < kBuckets; ++i) {
+    seen += static_cast<double>(bucket(i));
+    if (seen >= target) return bucket_mid(i);
+  }
+  return static_cast<double>(max());
+}
+
+void Histogram::reset() noexcept {
+  count_.store(0, std::memory_order_relaxed);
+  sum_.store(0, std::memory_order_relaxed);
+  min_.store(~0ull, std::memory_order_relaxed);
+  max_.store(0, std::memory_order_relaxed);
+  for (auto& b : buckets_) b.store(0, std::memory_order_relaxed);
+}
+
+std::string_view to_string(Unit unit) noexcept {
+  switch (unit) {
+    case Unit::kNone: return "";
+    case Unit::kNanoseconds: return "ns";
+    case Unit::kBytes: return "bytes";
+  }
+  return "";
+}
+
+Registry& Registry::instance() {
+  // Leaked on purpose: metric handles (including the one cached by the
+  // SIGSEGV fault table) must stay valid through static destruction.
+  static Registry* r = new Registry();
+  return *r;
+}
+
+Counter& Registry::counter(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const auto& e : counters_) {
+    if (e->name == name) return e->metric;
+  }
+  counters_.push_back(std::make_unique<Entry<Counter>>());
+  counters_.back()->name = std::string(name);
+  return counters_.back()->metric;
+}
+
+Gauge& Registry::gauge(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const auto& e : gauges_) {
+    if (e->name == name) return e->metric;
+  }
+  gauges_.push_back(std::make_unique<Entry<Gauge>>());
+  gauges_.back()->name = std::string(name);
+  return gauges_.back()->metric;
+}
+
+Histogram& Registry::histogram(std::string_view name, Unit unit) {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const auto& e : histograms_) {
+    if (e->name == name) return e->metric;
+  }
+  histograms_.push_back(std::make_unique<Entry<Histogram>>());
+  histograms_.back()->name = std::string(name);
+  histograms_.back()->unit = unit;
+  return histograms_.back()->metric;
+}
+
+Snapshot Registry::snapshot() const {
+  Snapshot snap;
+  snap.enabled = enabled();
+  std::lock_guard<std::mutex> lock(mu_);
+  snap.counters.reserve(counters_.size());
+  for (const auto& e : counters_) {
+    snap.counters.push_back({e->name, e->metric.value()});
+  }
+  snap.gauges.reserve(gauges_.size());
+  for (const auto& e : gauges_) {
+    snap.gauges.push_back({e->name, e->metric.value(), e->metric.max()});
+  }
+  snap.histograms.reserve(histograms_.size());
+  for (const auto& e : histograms_) {
+    const Histogram& h = e->metric;
+    Snapshot::HistogramValue hv;
+    hv.name = e->name;
+    hv.unit = e->unit;
+    hv.count = h.count();
+    hv.sum = h.sum();
+    hv.min = h.min();
+    hv.max = h.max();
+    hv.mean = h.mean();
+    hv.p50 = h.approx_quantile(0.5);
+    hv.p90 = h.approx_quantile(0.9);
+    hv.p99 = h.approx_quantile(0.99);
+    for (int i = 0; i < Histogram::kBuckets; ++i) {
+      std::uint64_t c = h.bucket(i);
+      if (c != 0) hv.buckets.emplace_back(i, c);
+    }
+    snap.histograms.push_back(std::move(hv));
+  }
+  auto by_name = [](const auto& a, const auto& b) { return a.name < b.name; };
+  std::sort(snap.counters.begin(), snap.counters.end(), by_name);
+  std::sort(snap.gauges.begin(), snap.gauges.end(), by_name);
+  std::sort(snap.histograms.begin(), snap.histograms.end(), by_name);
+  return snap;
+}
+
+void Registry::reset_all() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const auto& e : counters_) e->metric.reset();
+  for (const auto& e : gauges_) e->metric.reset();
+  for (const auto& e : histograms_) e->metric.reset();
+}
+
+std::string Snapshot::to_json() const {
+  std::string out;
+  out.reserve(256 + 64 * (counters.size() + gauges.size()) +
+              256 * histograms.size());
+  out += "{\"enabled\":";
+  out += enabled ? "true" : "false";
+  out += ",\"counters\":{";
+  for (std::size_t i = 0; i < counters.size(); ++i) {
+    if (i != 0) out += ',';
+    out += '"';
+    append_escaped(out, counters[i].name);
+    out += "\":";
+    append_u64(out, counters[i].value);
+  }
+  out += "},\"gauges\":{";
+  for (std::size_t i = 0; i < gauges.size(); ++i) {
+    if (i != 0) out += ',';
+    out += '"';
+    append_escaped(out, gauges[i].name);
+    out += "\":{\"value\":";
+    append_i64(out, gauges[i].value);
+    out += ",\"max\":";
+    append_i64(out, gauges[i].max);
+    out += '}';
+  }
+  out += "},\"histograms\":{";
+  for (std::size_t i = 0; i < histograms.size(); ++i) {
+    const auto& h = histograms[i];
+    if (i != 0) out += ',';
+    out += '"';
+    append_escaped(out, h.name);
+    out += "\":{\"unit\":\"";
+    append_escaped(out, to_string(h.unit));
+    out += "\",\"count\":";
+    append_u64(out, h.count);
+    out += ",\"sum\":";
+    append_u64(out, h.sum);
+    out += ",\"min\":";
+    append_u64(out, h.min);
+    out += ",\"max\":";
+    append_u64(out, h.max);
+    out += ",\"mean\":";
+    append_double(out, h.mean);
+    out += ",\"p50\":";
+    append_double(out, h.p50);
+    out += ",\"p90\":";
+    append_double(out, h.p90);
+    out += ",\"p99\":";
+    append_double(out, h.p99);
+    out += ",\"buckets\":[";
+    for (std::size_t b = 0; b < h.buckets.size(); ++b) {
+      if (b != 0) out += ',';
+      out += '[';
+      append_i64(out, h.buckets[b].first);
+      out += ',';
+      append_u64(out, h.buckets[b].second);
+      out += ']';
+    }
+    out += "]}";
+  }
+  out += "}}";
+  return out;
+}
+
+TextTable Snapshot::table(const std::string& title) const {
+  TextTable t(title);
+  t.set_header({"Metric", "Count", "Mean", "p50", "p99", "Max", "Total"});
+  for (const auto& c : counters) {
+    std::string v;
+    append_u64(v, c.value);
+    t.add_row({c.name, "-", "-", "-", "-", "-", v});
+  }
+  for (const auto& g : gauges) {
+    std::string v;
+    append_i64(v, g.value);
+    std::string m;
+    append_i64(m, g.max);
+    t.add_row({g.name + " (gauge)", "-", "-", "-", "-", m, v});
+  }
+  for (const auto& h : histograms) {
+    std::string n;
+    append_u64(n, h.count);
+    t.add_row({h.name, n, fmt_value(h.mean, h.unit),
+               fmt_value(h.p50, h.unit), fmt_value(h.p99, h.unit),
+               fmt_value(static_cast<double>(h.max), h.unit),
+               fmt_value(static_cast<double>(h.sum), h.unit)});
+  }
+  return t;
+}
+
+}  // namespace ickpt::obs

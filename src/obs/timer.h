@@ -1,0 +1,58 @@
+// RAII stage timers over obs::Histogram.
+//
+// ScopedTimer reads the monotonic clock twice and records the elapsed
+// nanoseconds; when recording is disabled (obs::set_enabled(false)) it
+// skips both clock reads, so idle instrumentation costs one branch.
+// Everything here is allocation-free and, like Histogram::record,
+// safe from the SIGSEGV fault handler.
+#pragma once
+
+#include <cstdint>
+
+#include "obs/metrics.h"
+
+namespace ickpt::obs {
+
+class ScopedTimer {
+ public:
+  explicit ScopedTimer(Histogram& h) noexcept
+      : h_(enabled() ? &h : nullptr), start_(h_ != nullptr ? now_ns() : 0) {}
+
+  ScopedTimer(const ScopedTimer&) = delete;
+  ScopedTimer& operator=(const ScopedTimer&) = delete;
+
+  ~ScopedTimer() { stop(); }
+
+  /// Record now instead of at scope exit (idempotent).
+  void stop() noexcept {
+    if (h_ != nullptr) {
+      h_->record(now_ns() - start_);
+      h_ = nullptr;
+    }
+  }
+
+  /// Abandon without recording (e.g. the guarded operation failed and
+  /// its latency would pollute the distribution).
+  void cancel() noexcept { h_ = nullptr; }
+
+ private:
+  Histogram* h_;
+  std::uint64_t start_;
+};
+
+/// Manual start/stop pair for stall accounting across non-lexical
+/// scopes (condition-variable waits, future waits).
+class StallClock {
+ public:
+  StallClock() noexcept : start_(enabled() ? now_ns() : 0) {}
+
+  /// Elapsed ns since construction; 0 when recording is disabled.
+  std::uint64_t elapsed_ns() const noexcept {
+    return start_ != 0 ? now_ns() - start_ : 0;
+  }
+
+ private:
+  std::uint64_t start_;
+};
+
+}  // namespace ickpt::obs

@@ -1,6 +1,30 @@
 #include "storage/async_writer.h"
 
+#include "obs/timer.h"
+
 namespace ickpt::storage {
+
+namespace {
+
+/// Queue depth and producer stall time: the two signals that tell
+/// whether async mode is hiding device latency or just buffering it.
+struct AsyncMetrics {
+  obs::Gauge& queue_bytes;
+  obs::Counter& stalls;
+  obs::Histogram& stall_ns;
+  obs::Histogram& flush_ns;
+
+  static AsyncMetrics& get() {
+    static AsyncMetrics m{
+        obs::registry().gauge("storage.async.queue_bytes"),
+        obs::registry().counter("storage.async.stalls"),
+        obs::registry().histogram("storage.async.stall_ns"),
+        obs::registry().histogram("storage.async.flush_ns")};
+    return m;
+  }
+};
+
+}  // namespace
 
 AsyncWriter::AsyncWriter(StorageBackend& backend, Options options)
     : backend_(backend), options_(options) {
@@ -17,15 +41,25 @@ AsyncWriter::~AsyncWriter() {
 }
 
 Status AsyncWriter::submit(std::string key, std::vector<std::byte> data) {
+  auto& metrics = AsyncMetrics::get();
   std::unique_lock<std::mutex> lock(mu_);
-  cv_producer_.wait(lock, [&] {
+  auto admissible = [&] {
     return stopping_ || !first_error_.is_ok() ||
            queued_bytes_ + data.size() <= options_.max_queued_bytes ||
            queue_.empty();  // a single oversized object is admitted
-  });
+  };
+  if (!admissible()) {
+    // Back-pressure: the device is behind and the application thread
+    // is about to eat the latency async mode was meant to hide.
+    metrics.stalls.inc();
+    obs::StallClock stall;
+    cv_producer_.wait(lock, admissible);
+    if (obs::enabled()) metrics.stall_ns.record(stall.elapsed_ns());
+  }
   if (stopping_) return failed_precondition("writer is shutting down");
   if (!first_error_.is_ok()) return first_error_;
   queued_bytes_ += data.size();
+  metrics.queue_bytes.update(static_cast<std::int64_t>(queued_bytes_));
   queue_.push_back(Item{std::move(key), std::move(data)});
   idle_ = false;
   cv_consumer_.notify_one();
@@ -33,6 +67,7 @@ Status AsyncWriter::submit(std::string key, std::vector<std::byte> data) {
 }
 
 Status AsyncWriter::flush() {
+  obs::ScopedTimer timer(AsyncMetrics::get().flush_ns);
   std::unique_lock<std::mutex> lock(mu_);
   cv_producer_.wait(lock, [&] {
     return (queue_.empty() && idle_) || !first_error_.is_ok();
@@ -79,6 +114,8 @@ void AsyncWriter::run() {
 
     lock.lock();
     queued_bytes_ -= item.data.size();
+    AsyncMetrics::get().queue_bytes.set(
+        static_cast<std::int64_t>(queued_bytes_));
     if (st.is_ok()) {
       ++objects_written_;
       bytes_written_ += item.data.size();

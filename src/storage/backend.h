@@ -18,6 +18,11 @@
 
 #include "common/status.h"
 
+namespace ickpt::obs {
+class Counter;
+class Histogram;
+}  // namespace ickpt::obs
+
 namespace ickpt::storage {
 
 /// Sequential writer for one object.  close() must be called for the
@@ -90,6 +95,34 @@ class ThrottledBackend : public StorageBackend {
   double bytes_per_second_;
   bool really_sleep_;
   std::shared_ptr<std::atomic<std::uint64_t>> throttled_bytes_;
+};
+
+/// Decorator: publishes per-object write metrics to the process-wide
+/// obs registry under `prefix` — "<prefix>.objects" / "<prefix>.bytes"
+/// counters, a "<prefix>.write_ns" latency histogram (create() to
+/// close(), as seen by the writing thread) and a "<prefix>.object_bytes"
+/// size histogram.  Pure pass-through otherwise; the decorated backend
+/// must outlive the decorator.
+class MeteredBackend : public StorageBackend {
+ public:
+  explicit MeteredBackend(StorageBackend& inner,
+                          const std::string& prefix = "storage");
+
+  Result<std::unique_ptr<Writer>> create(const std::string& key) override;
+  Result<std::unique_ptr<Reader>> open(const std::string& key) override;
+  Status remove(const std::string& key) override;
+  Result<std::vector<std::string>> list() override;
+  bool exists(const std::string& key) override;
+  std::uint64_t total_bytes_stored() const noexcept override;
+
+ private:
+  class MeteredWriter;
+  StorageBackend& inner_;
+  // Registry-owned metric objects; immortal, so writers may hold them.
+  obs::Counter& objects_;
+  obs::Counter& bytes_;
+  obs::Histogram& write_ns_;
+  obs::Histogram& object_bytes_;
 };
 
 /// Decorator: fails writes after `fail_after_bytes` total payload

@@ -66,8 +66,9 @@ TEST(AsyncBackendTest, CheckpointChainThroughAsyncPath) {
   ASSERT_TRUE(block.is_ok());
   std::memset(block->mem.data(), 0x3C, block->mem.size());
 
-  checkpoint::Checkpointer ckpt(space, *backend, {});
-  ASSERT_TRUE(ckpt.checkpoint_full(0.0).is_ok());
+  auto ckpt =
+      checkpoint::Checkpointer::create(space, backend.get()).value();
+  ASSERT_TRUE(ckpt->checkpoint_full(0.0).is_ok());
   ASSERT_TRUE(engine.arm().is_ok());
   for (int step = 1; step <= 6; ++step) {
     block->mem[static_cast<std::size_t>(step) * page_size()] =
@@ -77,7 +78,7 @@ TEST(AsyncBackendTest, CheckpointChainThroughAsyncPath) {
         1);
     auto snap = engine.collect(true);
     ASSERT_TRUE(snap.is_ok());
-    ASSERT_TRUE(ckpt.checkpoint_incremental(*snap, step).is_ok());
+    ASSERT_TRUE(ckpt->checkpoint_incremental(*snap, step).is_ok());
   }
   ASSERT_TRUE(writer.flush().is_ok());
 

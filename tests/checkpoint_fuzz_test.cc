@@ -61,7 +61,7 @@ TEST_P(CheckpointFuzzTest, EverySequenceRestoresExactly) {
   CheckpointerOptions opts;
   opts.full_every = 1 + rng.next_index(8);
   opts.compress = rng.next_bool(0.5);
-  Checkpointer ckpt(space, *storage, opts);
+  auto ckpt = Checkpointer::create(space, storage.get(), opts).value();
 
   // Start with 1-4 blocks of random sizes.
   std::vector<BlockId> live;
@@ -118,7 +118,7 @@ TEST_P(CheckpointFuzzTest, EverySequenceRestoresExactly) {
       // Checkpoint and record the ground truth.
       auto snap = engine.collect(/*rearm=*/true);
       ASSERT_TRUE(snap.is_ok());
-      auto meta = ckpt.checkpoint_incremental(*snap,
+      auto meta = ckpt->checkpoint_incremental(*snap,
                                               static_cast<double>(step));
       ASSERT_TRUE(meta.is_ok()) << meta.status().to_string();
       truth_at[meta->sequence] = snapshot_space(space);
@@ -127,7 +127,7 @@ TEST_P(CheckpointFuzzTest, EverySequenceRestoresExactly) {
   // Final checkpoint so the last state is always covered.
   auto snap = engine.collect(true);
   ASSERT_TRUE(snap.is_ok());
-  auto meta = ckpt.checkpoint_incremental(*snap, steps);
+  auto meta = ckpt->checkpoint_incremental(*snap, steps);
   ASSERT_TRUE(meta.is_ok());
   truth_at[meta->sequence] = snapshot_space(space);
 

@@ -102,10 +102,10 @@ class ParallelEncodeTest : public ::testing::Test {
   std::unique_ptr<storage::StorageBackend> write_chain(
       const memtrack::DirtySnapshot& snap, CheckpointerOptions opts) {
     auto backend = storage::make_memory_backend();
-    Checkpointer ckpt(space_, *backend, opts);
-    EXPECT_TRUE(ckpt.checkpoint_full(0.0).is_ok());
-    EXPECT_TRUE(ckpt.checkpoint_incremental(snap, 1.0).is_ok());
-    EXPECT_TRUE(ckpt.flush().is_ok());
+    auto ckpt = Checkpointer::create(space_, backend.get(), opts).value();
+    EXPECT_TRUE(ckpt->checkpoint_full(0.0).is_ok());
+    EXPECT_TRUE(ckpt->checkpoint_incremental(snap, 1.0).is_ok());
+    EXPECT_TRUE(ckpt->flush().is_ok());
     return backend;
   }
 
@@ -184,12 +184,12 @@ TEST_F(ParallelEncodeTest, AsyncSurfacesBackendErrorAtFlush) {
   storage::FaultyBackend faulty(*backend, /*fail_after_bytes=*/page_size());
   CheckpointerOptions opts;
   opts.async = true;
-  Checkpointer ckpt(space_, faulty, opts);
+  auto ckpt = Checkpointer::create(space_, &faulty, opts).value();
   // Encode succeeds into memory; the device error appears at the
   // barrier, not before.
-  auto meta = ckpt.checkpoint_full(0.0);
+  auto meta = ckpt->checkpoint_full(0.0);
   ASSERT_TRUE(meta.is_ok());
-  auto flushed = ckpt.flush();
+  auto flushed = ckpt->flush();
   EXPECT_FALSE(flushed.is_ok());
   EXPECT_EQ(flushed.code(), ErrorCode::kIoError);
 }

@@ -50,12 +50,12 @@ class CheckpointTest : public ::testing::Test {
   CheckpointTest()
       : storage_(storage::make_memory_backend()),
         space_(engine_, "rank0"),
-        ckpt_(space_, *storage_, CheckpointerOptions{}) {}
+        ckpt_(Checkpointer::create(space_, storage_.get()).value()) {}
 
   ExplicitEngine engine_;
   std::unique_ptr<storage::StorageBackend> storage_;
   AddressSpace space_;
-  Checkpointer ckpt_;
+  std::unique_ptr<Checkpointer> ckpt_;
 };
 
 TEST_F(CheckpointTest, FullCheckpointRoundTrip) {
@@ -66,7 +66,7 @@ TEST_F(CheckpointTest, FullCheckpointRoundTrip) {
   fill_pattern(a->mem, 1);
   fill_pattern(b->mem, 2);
 
-  auto meta = ckpt_.checkpoint_full(10.0);
+  auto meta = ckpt_->checkpoint_full(10.0);
   ASSERT_TRUE(meta.is_ok());
   EXPECT_EQ(meta->kind, Kind::kFull);
   EXPECT_EQ(meta->payload_pages, 6u);
@@ -82,7 +82,7 @@ TEST_F(CheckpointTest, IncrementalCapturesOnlyDirtyPages) {
   auto a = space_.map(8 * page_size(), AreaKind::kHeap, "a");
   ASSERT_TRUE(a.is_ok());
   fill_pattern(a->mem, 3);
-  ASSERT_TRUE(ckpt_.checkpoint_full(0.0).is_ok());
+  ASSERT_TRUE(ckpt_->checkpoint_full(0.0).is_ok());
 
   ASSERT_TRUE(engine_.arm().is_ok());
   // Mutate pages 2 and 5.
@@ -93,7 +93,7 @@ TEST_F(CheckpointTest, IncrementalCapturesOnlyDirtyPages) {
   auto snap = engine_.collect(true);
   ASSERT_TRUE(snap.is_ok());
 
-  auto meta = ckpt_.checkpoint_incremental(*snap, 1.0);
+  auto meta = ckpt_->checkpoint_incremental(*snap, 1.0);
   ASSERT_TRUE(meta.is_ok());
   EXPECT_EQ(meta->kind, Kind::kIncremental);
   EXPECT_EQ(meta->payload_pages, 2u);  // exactly the dirty pages
@@ -107,7 +107,7 @@ TEST_F(CheckpointTest, FirstIncrementalPromotesToFull) {
   auto a = space_.map(page_size(), AreaKind::kHeap, "a");
   ASSERT_TRUE(a.is_ok());
   memtrack::DirtySnapshot empty;
-  auto meta = ckpt_.checkpoint_incremental(empty, 0.0);
+  auto meta = ckpt_->checkpoint_incremental(empty, 0.0);
   ASSERT_TRUE(meta.is_ok());
   EXPECT_EQ(meta->kind, Kind::kFull);
 }
@@ -116,7 +116,7 @@ TEST_F(CheckpointTest, ChainOfIncrementalsRestoresLatestState) {
   auto a = space_.map(16 * page_size(), AreaKind::kHeap, "data");
   ASSERT_TRUE(a.is_ok());
   fill_pattern(a->mem, 7);
-  ASSERT_TRUE(ckpt_.checkpoint_full(0.0).is_ok());
+  ASSERT_TRUE(ckpt_->checkpoint_full(0.0).is_ok());
   ASSERT_TRUE(engine_.arm().is_ok());
 
   Rng rng(99);
@@ -132,14 +132,14 @@ TEST_F(CheckpointTest, ChainOfIncrementalsRestoresLatestState) {
     auto snap = engine_.collect(true);
     ASSERT_TRUE(snap.is_ok());
     ASSERT_TRUE(
-        ckpt_.checkpoint_incremental(*snap, static_cast<double>(step))
+        ckpt_->checkpoint_incremental(*snap, static_cast<double>(step))
             .is_ok());
   }
 
   auto state = restore_chain(*storage_, 0);
   ASSERT_TRUE(state.is_ok());
   expect_blocks_equal(*state, space_);
-  EXPECT_EQ(ckpt_.chain().size(), 11u);
+  EXPECT_EQ(ckpt_->chain().size(), 11u);
 }
 
 TEST_F(CheckpointTest, RestoreUptoIntermediateSequence) {
@@ -147,14 +147,14 @@ TEST_F(CheckpointTest, RestoreUptoIntermediateSequence) {
   ASSERT_TRUE(a.is_ok());
   fill_pattern(a->mem, 1);
   std::vector<std::byte> v0(a->mem.begin(), a->mem.end());
-  ASSERT_TRUE(ckpt_.checkpoint_full(0.0).is_ok());
+  ASSERT_TRUE(ckpt_->checkpoint_full(0.0).is_ok());
   ASSERT_TRUE(engine_.arm().is_ok());
 
   fill_pattern(a->mem, 2);
   engine_.note_write(a->mem.data(), a->mem.size());
   auto snap1 = engine_.collect(true);
   ASSERT_TRUE(snap1.is_ok());
-  auto m1 = ckpt_.checkpoint_incremental(*snap1, 1.0);
+  auto m1 = ckpt_->checkpoint_incremental(*snap1, 1.0);
   ASSERT_TRUE(m1.is_ok());
   std::vector<std::byte> v1(a->mem.begin(), a->mem.end());
 
@@ -162,7 +162,7 @@ TEST_F(CheckpointTest, RestoreUptoIntermediateSequence) {
   engine_.note_write(a->mem.data(), a->mem.size());
   auto snap2 = engine_.collect(true);
   ASSERT_TRUE(snap2.is_ok());
-  ASSERT_TRUE(ckpt_.checkpoint_incremental(*snap2, 2.0).is_ok());
+  ASSERT_TRUE(ckpt_->checkpoint_incremental(*snap2, 2.0).is_ok());
 
   // Roll back to the middle of the chain.
   auto state = restore_chain(*storage_, 0, m1->sequence);
@@ -180,7 +180,7 @@ TEST_F(CheckpointTest, MemoryExclusionAcrossChain) {
   ASSERT_TRUE(doomed.is_ok());
   fill_pattern(keep->mem, 1);
   fill_pattern(doomed->mem, 2);
-  ASSERT_TRUE(ckpt_.checkpoint_full(0.0).is_ok());
+  ASSERT_TRUE(ckpt_->checkpoint_full(0.0).is_ok());
   ASSERT_TRUE(engine_.arm().is_ok());
 
   // Unmap "doomed", map a new block, write to it.
@@ -191,7 +191,7 @@ TEST_F(CheckpointTest, MemoryExclusionAcrossChain) {
   engine_.note_write(fresh->mem.data(), page_size());
   auto snap = engine_.collect(true);
   ASSERT_TRUE(snap.is_ok());
-  ASSERT_TRUE(ckpt_.checkpoint_incremental(*snap, 1.0).is_ok());
+  ASSERT_TRUE(ckpt_->checkpoint_incremental(*snap, 1.0).is_ok());
 
   auto state = restore_chain(*storage_, 0);
   ASSERT_TRUE(state.is_ok());
@@ -210,7 +210,7 @@ TEST_F(CheckpointTest, MemoryExclusionAcrossChain) {
 TEST_F(CheckpointTest, FullEveryReseedsChain) {
   CheckpointerOptions opts;
   opts.full_every = 2;
-  Checkpointer ckpt(space_, *storage_, opts);
+  auto ckpt = Checkpointer::create(space_, storage_.get(), opts).value();
   auto a = space_.map(page_size(), AreaKind::kHeap, "a");
   ASSERT_TRUE(a.is_ok());
   ASSERT_TRUE(engine_.arm().is_ok());
@@ -218,7 +218,7 @@ TEST_F(CheckpointTest, FullEveryReseedsChain) {
   memtrack::DirtySnapshot empty;
   std::vector<Kind> kinds;
   for (int i = 0; i < 6; ++i) {
-    auto meta = ckpt.checkpoint_incremental(empty, static_cast<double>(i));
+    auto meta = ckpt->checkpoint_incremental(empty, static_cast<double>(i));
     ASSERT_TRUE(meta.is_ok());
     kinds.push_back(meta->kind);
   }
@@ -233,19 +233,19 @@ TEST_F(CheckpointTest, FullEveryReseedsChain) {
 TEST_F(CheckpointTest, TruncateBeforeLastFullRemovesOldObjects) {
   CheckpointerOptions opts;
   opts.full_every = 2;
-  Checkpointer ckpt(space_, *storage_, opts);
+  auto ckpt = Checkpointer::create(space_, storage_.get(), opts).value();
   auto a = space_.map(page_size(), AreaKind::kHeap, "a");
   ASSERT_TRUE(a.is_ok());
   ASSERT_TRUE(engine_.arm().is_ok());
   memtrack::DirtySnapshot empty;
   for (int i = 0; i < 5; ++i) {
     ASSERT_TRUE(
-        ckpt.checkpoint_incremental(empty, static_cast<double>(i)).is_ok());
+        ckpt->checkpoint_incremental(empty, static_cast<double>(i)).is_ok());
   }
   // Chain: full(0) inc(1) inc(2) full(3) inc(4); truncate drops 0-2.
-  ASSERT_TRUE(ckpt.truncate_before_last_full().is_ok());
-  EXPECT_EQ(ckpt.chain().size(), 2u);
-  EXPECT_EQ(ckpt.chain()[0].kind, Kind::kFull);
+  ASSERT_TRUE(ckpt->truncate_before_last_full().is_ok());
+  EXPECT_EQ(ckpt->chain().size(), 2u);
+  EXPECT_EQ(ckpt->chain()[0].kind, Kind::kFull);
   auto keys = storage_->list();
   ASSERT_TRUE(keys.is_ok());
   EXPECT_EQ(keys->size(), 2u);
@@ -257,7 +257,7 @@ TEST_F(CheckpointTest, MaterializeRebuildsAddressSpace) {
   auto a = space_.map(3 * page_size(), AreaKind::kHeap, "field");
   ASSERT_TRUE(a.is_ok());
   fill_pattern(a->mem, 11);
-  ASSERT_TRUE(ckpt_.checkpoint_full(0.0).is_ok());
+  ASSERT_TRUE(ckpt_->checkpoint_full(0.0).is_ok());
 
   auto state = restore_chain(*storage_, 0);
   ASSERT_TRUE(state.is_ok());
@@ -283,11 +283,11 @@ TEST_F(CheckpointTest, StorageFaultSurfacesAsError) {
   ASSERT_TRUE(a.is_ok());
   fill_pattern(a->mem, 77);  // incompressible: every page is payload
   storage::FaultyBackend faulty(*storage_, /*fail_after_bytes=*/page_size());
-  Checkpointer ckpt(space_, faulty, CheckpointerOptions{});
-  auto meta = ckpt.checkpoint_full(0.0);
+  auto ckpt = Checkpointer::create(space_, &faulty).value();
+  auto meta = ckpt->checkpoint_full(0.0);
   EXPECT_FALSE(meta.is_ok());
   EXPECT_EQ(meta.status().code(), ErrorCode::kIoError);
-  EXPECT_TRUE(ckpt.chain().empty());
+  EXPECT_TRUE(ckpt->chain().empty());
   // The aborted object must not be visible.
   EXPECT_FALSE(storage_->exists(checkpoint_key(0, 0)));
 }
@@ -359,26 +359,80 @@ TEST_F(CheckpointTest, FailedWriteCleansOrphanAndReusesSequence) {
   ASSERT_TRUE(a.is_ok());
   fill_pattern(a->mem, 5);
   LeakyFaultBackend leaky(*storage_);
-  Checkpointer ckpt(space_, leaky, CheckpointerOptions{});
+  auto ckpt = Checkpointer::create(space_, &leaky).value();
 
   leaky.fail_after_writes = 3;  // die mid-object, after the header
-  auto failed = ckpt.checkpoint_full(0.0);
+  auto failed = ckpt->checkpoint_full(0.0);
   ASSERT_FALSE(failed.is_ok());
   EXPECT_EQ(failed.status().code(), ErrorCode::kIoError);
   // The committed partial object must have been removed, the sequence
   // number rolled back, and the chain left untouched.
   EXPECT_FALSE(storage_->exists(checkpoint_key(0, 0)));
-  EXPECT_EQ(ckpt.next_sequence(), 0u);
-  EXPECT_TRUE(ckpt.chain().empty());
+  EXPECT_EQ(ckpt->next_sequence(), 0u);
+  EXPECT_TRUE(ckpt->chain().empty());
 
   // The retry reuses sequence 0 and the store ends up healthy.
   leaky.fail_after_writes = -1;
-  auto meta = ckpt.checkpoint_full(1.0);
+  auto meta = ckpt->checkpoint_full(1.0);
   ASSERT_TRUE(meta.is_ok());
   EXPECT_EQ(meta->sequence, 0u);
   auto keys = storage_->list();
   ASSERT_TRUE(keys.is_ok());
   EXPECT_EQ(keys->size(), 1u);
+  auto state = restore_chain(*storage_, 0);
+  ASSERT_TRUE(state.is_ok());
+  expect_blocks_equal(*state, space_);
+}
+
+// ------------------------------------------------------ factory validation
+
+TEST_F(CheckpointTest, CreateRejectsNullBackend) {
+  auto made = Checkpointer::create(space_, nullptr);
+  ASSERT_FALSE(made.is_ok());
+  EXPECT_EQ(made.status().code(), ErrorCode::kInvalidArgument);
+  EXPECT_NE(made.status().to_string().find("null"), std::string::npos);
+}
+
+TEST_F(CheckpointTest, CreateRejectsBadEncodeThreads) {
+  CheckpointerOptions opts;
+  opts.encode_threads = 0;
+  EXPECT_EQ(Checkpointer::create(space_, storage_.get(), opts)
+                .status()
+                .code(),
+            ErrorCode::kInvalidArgument);
+  opts.encode_threads = -4;
+  EXPECT_EQ(Checkpointer::create(space_, storage_.get(), opts)
+                .status()
+                .code(),
+            ErrorCode::kInvalidArgument);
+  opts.encode_threads = kMaxEncodeThreads + 1;
+  EXPECT_EQ(Checkpointer::create(space_, storage_.get(), opts)
+                .status()
+                .code(),
+            ErrorCode::kInvalidArgument);
+  opts.encode_threads = kMaxEncodeThreads;
+  EXPECT_TRUE(Checkpointer::create(space_, storage_.get(), opts).is_ok());
+}
+
+TEST_F(CheckpointTest, CreateRejectsOverflowedFullEvery) {
+  CheckpointerOptions opts;
+  // A negative int stuffed into the unsigned field — the classic
+  // silent-overflow misuse the bound exists to catch.
+  opts.full_every = static_cast<std::uint64_t>(-1);
+  auto made = Checkpointer::create(space_, storage_.get(), opts);
+  ASSERT_FALSE(made.is_ok());
+  EXPECT_EQ(made.status().code(), ErrorCode::kInvalidArgument);
+  opts.full_every = kMaxFullEvery;
+  EXPECT_TRUE(Checkpointer::create(space_, storage_.get(), opts).is_ok());
+}
+
+TEST_F(CheckpointTest, CreatedCheckpointerWorks) {
+  auto made = Checkpointer::create(space_, storage_.get());
+  ASSERT_TRUE(made.is_ok());
+  auto a = space_.map(2 * page_size(), AreaKind::kHeap, "a");
+  ASSERT_TRUE(a.is_ok());
+  fill_pattern(a->mem, 9);
+  ASSERT_TRUE((*made)->checkpoint_full(0.0).is_ok());
   auto state = restore_chain(*storage_, 0);
   ASSERT_TRUE(state.is_ok());
   expect_blocks_equal(*state, space_);
@@ -393,7 +447,7 @@ class CorruptionTest : public CheckpointTest {
     auto a = space_.map(2 * page_size(), AreaKind::kHeap, "a");
     EXPECT_TRUE(a.is_ok());
     fill_pattern(a->mem, 1);
-    auto meta = ckpt_.checkpoint_full(0.0);
+    auto meta = ckpt_->checkpoint_full(0.0);
     EXPECT_TRUE(meta.is_ok());
 
     auto reader = storage_->open(meta->key);
@@ -432,7 +486,7 @@ TEST_F(CorruptionTest, FlippedPayloadByteFailsCrc) {
 TEST_F(CorruptionTest, TruncatedFileDetected) {
   auto a = space_.map(2 * page_size(), AreaKind::kHeap, "a");
   ASSERT_TRUE(a.is_ok());
-  auto meta = ckpt_.checkpoint_full(0.0);
+  auto meta = ckpt_->checkpoint_full(0.0);
   ASSERT_TRUE(meta.is_ok());
 
   auto reader = storage_->open(meta->key);

@@ -1,0 +1,182 @@
+// Typed flag parsing: syntax forms, defaults, and the hard-error
+// cases that the old string-map parser silently swallowed.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "common/flags.h"
+
+namespace ickpt {
+namespace {
+
+/// Build an argv-style vector; index 0 is the program name.
+std::vector<char*> make_argv(std::vector<std::string>& args) {
+  std::vector<char*> argv;
+  argv.reserve(args.size());
+  for (auto& a : args) argv.push_back(a.data());
+  return argv;
+}
+
+TEST(FlagSetTest, ParsesEveryType) {
+  std::string s = "default";
+  int i = 1;
+  double d = 0.5;
+  bool b = false;
+  FlagSet flags("prog");
+  flags.add_string("name", &s, "a string");
+  flags.add_int("count", &i, "an int");
+  flags.add_double("ratio", &d, "a double");
+  flags.add_bool("fast", &b, "a bool");
+
+  std::vector<std::string> args = {"prog",    "--name", "xyz",  "--count",
+                                   "7",       "--ratio", "2.25", "--fast"};
+  auto argv = make_argv(args);
+  ASSERT_TRUE(flags.parse(static_cast<int>(argv.size()), argv.data()).is_ok());
+  EXPECT_EQ(s, "xyz");
+  EXPECT_EQ(i, 7);
+  EXPECT_DOUBLE_EQ(d, 2.25);
+  EXPECT_TRUE(b);
+}
+
+TEST(FlagSetTest, EqualsSyntax) {
+  int i = 0;
+  std::string s;
+  FlagSet flags("prog");
+  flags.add_int("n", &i, "");
+  flags.add_string("out", &s, "");
+  std::vector<std::string> args = {"prog", "--n=42", "--out=a=b"};
+  auto argv = make_argv(args);
+  ASSERT_TRUE(flags.parse(static_cast<int>(argv.size()), argv.data()).is_ok());
+  EXPECT_EQ(i, 42);
+  EXPECT_EQ(s, "a=b");  // only the first '=' splits
+}
+
+TEST(FlagSetTest, DefaultsSurviveWhenUnset) {
+  int i = 11;
+  bool b = true;
+  FlagSet flags("prog");
+  flags.add_int("n", &i, "");
+  flags.add_bool("keep", &b, "");
+  std::vector<std::string> args = {"prog"};
+  auto argv = make_argv(args);
+  ASSERT_TRUE(flags.parse(static_cast<int>(argv.size()), argv.data()).is_ok());
+  EXPECT_EQ(i, 11);
+  EXPECT_TRUE(b);
+}
+
+TEST(FlagSetTest, BoolForms) {
+  for (const auto& [value, expected] :
+       std::vector<std::pair<std::string, bool>>{{"true", true},
+                                                 {"false", false},
+                                                 {"1", true},
+                                                 {"0", false},
+                                                 {"yes", true},
+                                                 {"no", false}}) {
+    bool b = !expected;  // ensure the parse actually flips it
+    FlagSet flags("prog");
+    flags.add_bool("flag", &b, "");
+    std::vector<std::string> args = {"prog", "--flag=" + value};
+    auto argv = make_argv(args);
+    ASSERT_TRUE(
+        flags.parse(static_cast<int>(argv.size()), argv.data()).is_ok())
+        << value;
+    EXPECT_EQ(b, expected) << value;
+  }
+}
+
+TEST(FlagSetTest, BareBoolDoesNotEatNextArg) {
+  bool b = false;
+  std::string s;
+  FlagSet flags("prog");
+  flags.add_bool("fast", &b, "");
+  flags.add_string("name", &s, "");
+  std::vector<std::string> args = {"prog", "--fast", "--name", "x"};
+  auto argv = make_argv(args);
+  ASSERT_TRUE(flags.parse(static_cast<int>(argv.size()), argv.data()).is_ok());
+  EXPECT_TRUE(b);
+  EXPECT_EQ(s, "x");
+}
+
+TEST(FlagSetTest, UnknownFlagIsError) {
+  FlagSet flags("prog");
+  std::vector<std::string> args = {"prog", "--mystery", "1"};
+  auto argv = make_argv(args);
+  auto st = flags.parse(static_cast<int>(argv.size()), argv.data());
+  ASSERT_FALSE(st.is_ok());
+  EXPECT_EQ(st.code(), ErrorCode::kInvalidArgument);
+  EXPECT_NE(st.to_string().find("mystery"), std::string::npos);
+}
+
+TEST(FlagSetTest, MissingValueIsError) {
+  std::string s;
+  FlagSet flags("prog");
+  flags.add_string("name", &s, "");
+  {
+    std::vector<std::string> args = {"prog", "--name"};
+    auto argv = make_argv(args);
+    auto st = flags.parse(static_cast<int>(argv.size()), argv.data());
+    EXPECT_FALSE(st.is_ok());
+    EXPECT_NE(st.to_string().find("requires a value"), std::string::npos);
+  }
+  {
+    // A following flag token is not a value either.
+    std::vector<std::string> args = {"prog", "--name", "--other"};
+    auto argv = make_argv(args);
+    EXPECT_FALSE(
+        flags.parse(static_cast<int>(argv.size()), argv.data()).is_ok());
+  }
+}
+
+TEST(FlagSetTest, MalformedNumbersAreErrors) {
+  int i = 0;
+  double d = 0;
+  FlagSet flags("prog");
+  flags.add_int("n", &i, "");
+  flags.add_double("x", &d, "");
+  for (const auto& bad : std::vector<std::vector<std::string>>{
+           {"prog", "--n", "12abc"},
+           {"prog", "--n", ""},
+           {"prog", "--n", "1e3"},   // ints reject exponent syntax
+           {"prog", "--x", "fast"},
+           {"prog", "--x", "1.5x"}}) {
+    auto args = bad;
+    auto argv = make_argv(args);
+    EXPECT_FALSE(
+        flags.parse(static_cast<int>(argv.size()), argv.data()).is_ok())
+        << bad[1] << " " << bad[2];
+  }
+}
+
+TEST(FlagSetTest, PositionalRejectedUnlessAllowed) {
+  FlagSet flags("prog");
+  std::vector<std::string> args = {"prog", "stray"};
+  auto argv = make_argv(args);
+  EXPECT_FALSE(
+      flags.parse(static_cast<int>(argv.size()), argv.data()).is_ok());
+
+  FlagSet lenient("prog");
+  lenient.allow_positional(true);
+  auto argv2 = make_argv(args);
+  ASSERT_TRUE(
+      lenient.parse(static_cast<int>(argv2.size()), argv2.data()).is_ok());
+  ASSERT_EQ(lenient.positional().size(), 1u);
+  EXPECT_EQ(lenient.positional()[0], "stray");
+}
+
+TEST(FlagSetTest, HelpListsFlagsAndDefaults) {
+  std::string s = "abc";
+  int i = 3;
+  FlagSet flags("prog");
+  flags.add_string("name", &s, "the name");
+  flags.add_int("n", &i, "the count");
+  auto help = flags.help();
+  EXPECT_NE(help.find("--name"), std::string::npos);
+  EXPECT_NE(help.find("the name"), std::string::npos);
+  EXPECT_NE(help.find("abc"), std::string::npos);  // default shown
+  EXPECT_NE(help.find("--n"), std::string::npos);
+  EXPECT_NE(help.find("3"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace ickpt

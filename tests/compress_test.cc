@@ -132,8 +132,8 @@ TEST(CompressTest, CheckpointOfSparseBlockShrinks) {
   auto storage = storage::make_memory_backend();
 
   CheckpointerOptions with;
-  Checkpointer compressed(space, *storage, with);
-  auto m1 = compressed.checkpoint_full(0.0);
+  auto compressed = Checkpointer::create(space, storage.get(), with).value();
+  auto m1 = compressed->checkpoint_full(0.0);
   ASSERT_TRUE(m1.is_ok());
   EXPECT_EQ(m1->zero_pages, 60u);
   EXPECT_LT(m1->file_bytes, 6 * page_size());
@@ -141,8 +141,8 @@ TEST(CompressTest, CheckpointOfSparseBlockShrinks) {
   CheckpointerOptions without;
   without.rank = 1;
   without.compress = false;
-  Checkpointer plain(space, *storage, without);
-  auto m2 = plain.checkpoint_full(0.0);
+  auto plain = Checkpointer::create(space, storage.get(), without).value();
+  auto m2 = plain->checkpoint_full(0.0);
   ASSERT_TRUE(m2.is_ok());
   EXPECT_GT(m2->file_bytes, 64 * page_size());
   EXPECT_GT(m2->file_bytes, 10 * m1->file_bytes);

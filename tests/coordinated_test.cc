@@ -41,7 +41,7 @@ TEST(CoordinatedTest, AllRanksCommitTogether) {
 
     CheckpointerOptions opts;
     opts.rank = static_cast<std::uint32_t>(comm.rank());
-    Checkpointer local(space, *storage, opts);
+    auto local = Checkpointer::create(space, storage.get(), opts).value();
     ASSERT_TRUE(engine.arm().is_ok());
 
     // Two coordinated checkpoints with writes in between.
@@ -52,7 +52,7 @@ TEST(CoordinatedTest, AllRanksCommitTogether) {
       auto snap = engine.collect(true);
       ASSERT_TRUE(snap.is_ok());
       auto seq = CoordinatedCheckpointer::checkpoint(
-          comm, local, *snap, static_cast<double>(round), *storage);
+          comm, *local, *snap, static_cast<double>(round), *storage);
       ASSERT_TRUE(seq.is_ok()) << seq.status().to_string();
     }
   });
@@ -95,12 +95,12 @@ TEST(CoordinatedTest, FailedRankAbortsCommit) {
       faulty = std::make_unique<storage::FaultyBackend>(*storage, 64);
       backend = faulty.get();
     }
-    Checkpointer local(space, *backend, opts);
+    auto local = Checkpointer::create(space, backend, opts).value();
     ASSERT_TRUE(engine.arm().is_ok());
     auto snap = engine.collect(true);
     ASSERT_TRUE(snap.is_ok());
 
-    auto seq = CoordinatedCheckpointer::checkpoint(comm, local, *snap, 0.0,
+    auto seq = CoordinatedCheckpointer::checkpoint(comm, *local, *snap, 0.0,
                                                    *storage);
     EXPECT_FALSE(seq.is_ok());  // every rank observes the failure
   });
@@ -125,11 +125,11 @@ TEST(CoordinatedTest, CrashRecoveryRoundTrip) {
 
     CheckpointerOptions opts;
     opts.rank = static_cast<std::uint32_t>(comm.rank());
-    Checkpointer local(space, *storage, opts);
+    auto local = Checkpointer::create(space, storage.get(), opts).value();
     ASSERT_TRUE(engine.arm().is_ok());
     auto snap = engine.collect(true);
     ASSERT_TRUE(snap.is_ok());
-    ASSERT_TRUE(CoordinatedCheckpointer::checkpoint(comm, local, *snap, 5.0,
+    ASSERT_TRUE(CoordinatedCheckpointer::checkpoint(comm, *local, *snap, 5.0,
                                                     *storage)
                     .is_ok());
 

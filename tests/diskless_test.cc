@@ -59,16 +59,17 @@ TEST(DisklessTest, ReplicatesAndRecoversAcrossNodeLoss) {
 
     CheckpointerOptions opts;
     opts.rank = static_cast<std::uint32_t>(comm.rank());
-    Checkpointer local(space, *node_store[rank], opts);
+    auto local =
+        Checkpointer::create(space, node_store[rank].get(), opts).value();
     ASSERT_TRUE(engine.arm().is_ok());
-    ASSERT_TRUE(local.checkpoint_full(0.0).is_ok());
+    ASSERT_TRUE(local->checkpoint_full(0.0).is_ok());
     auto snap = engine.collect(true);
     ASSERT_TRUE(snap.is_ok());
-    ASSERT_TRUE(local.checkpoint_incremental(*snap, 1.0).is_ok());
+    ASSERT_TRUE(local->checkpoint_incremental(*snap, 1.0).is_ok());
 
     // Replicate the whole local chain to the buddy node.
     std::vector<std::string> keys;
-    for (const auto& meta : local.chain()) keys.push_back(meta.key);
+    for (const auto& meta : local->chain()) keys.push_back(meta.key);
     ASSERT_TRUE(replicate_chain(comm, *node_store[rank], keys).is_ok())
         << "rank " << comm.rank();
   });

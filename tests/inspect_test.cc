@@ -136,13 +136,13 @@ TEST(InspectStoreTest, MultiRankStoreWithCommits) {
     ASSERT_TRUE(block.is_ok());
     CheckpointerOptions opts;
     opts.rank = static_cast<std::uint32_t>(comm.rank());
-    Checkpointer local(space, *storage, opts);
+    auto local = Checkpointer::create(space, storage.get(), opts).value();
     ASSERT_TRUE(engine.arm().is_ok());
     for (int round = 0; round < 2; ++round) {
       auto snap = engine.collect(true);
       ASSERT_TRUE(snap.is_ok());
       ASSERT_TRUE(CoordinatedCheckpointer::checkpoint(
-                      comm, local, *snap, round, *storage)
+                      comm, *local, *snap, round, *storage)
                       .is_ok());
     }
   });
@@ -161,8 +161,8 @@ TEST(InspectStoreTest, CommitBeyondChainIsFlagged) {
   AddressSpace space(engine, "r");
   auto block = space.map(page_size(), AreaKind::kHeap, "b");
   ASSERT_TRUE(block.is_ok());
-  Checkpointer ckpt(space, *storage, {});
-  ASSERT_TRUE(ckpt.checkpoint_full(0.0).is_ok());
+  auto ckpt = Checkpointer::create(space, storage.get()).value();
+  ASSERT_TRUE(ckpt->checkpoint_full(0.0).is_ok());
 
   // Forge a commit marker pointing past the chain.
   auto w = storage->create("commit/000000000009");

@@ -1,0 +1,372 @@
+// Observability registry: counter/gauge/histogram semantics, handle
+// identity, enabled-gating, thread safety of the record path, and a
+// JSON round-trip through a minimal in-test parser.
+#include <gtest/gtest.h>
+
+#include <cctype>
+#include <map>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "obs/metrics.h"
+#include "obs/timer.h"
+
+namespace ickpt::obs {
+namespace {
+
+// The registry is process-global and never unregisters, so every test
+// uses its own metric names and treats pre-existing metrics as
+// background noise.
+
+TEST(ObsCounterTest, IncrementAndReset) {
+  auto& c = registry().counter("test.counter.basic");
+  c.reset();
+  EXPECT_EQ(c.value(), 0u);
+  c.inc();
+  c.inc(41);
+  EXPECT_EQ(c.value(), 42u);
+  c.reset();
+  EXPECT_EQ(c.value(), 0u);
+}
+
+TEST(ObsCounterTest, GetOrCreateReturnsSameObject) {
+  auto& a = registry().counter("test.counter.identity");
+  auto& b = registry().counter("test.counter.identity");
+  EXPECT_EQ(&a, &b);
+  auto& other = registry().counter("test.counter.identity2");
+  EXPECT_NE(&a, &other);
+}
+
+TEST(ObsGaugeTest, UpdateTracksHighWater) {
+  auto& g = registry().gauge("test.gauge.hw");
+  g.reset();
+  g.update(5);
+  g.update(17);
+  g.update(3);
+  EXPECT_EQ(g.value(), 3);
+  EXPECT_EQ(g.max(), 17);
+}
+
+TEST(ObsHistogramTest, BucketIndexByBitWidth) {
+  EXPECT_EQ(Histogram::bucket_index(0), 0);
+  EXPECT_EQ(Histogram::bucket_index(1), 1);
+  EXPECT_EQ(Histogram::bucket_index(2), 2);
+  EXPECT_EQ(Histogram::bucket_index(3), 2);
+  EXPECT_EQ(Histogram::bucket_index(4), 3);
+  EXPECT_EQ(Histogram::bucket_index(1023), 10);
+  EXPECT_EQ(Histogram::bucket_index(1024), 11);
+  EXPECT_EQ(Histogram::bucket_index(~0ull), Histogram::kBuckets - 1);
+}
+
+TEST(ObsHistogramTest, StatsAndQuantiles) {
+  auto& h = registry().histogram("test.hist.stats", Unit::kNone);
+  h.reset();
+  for (int i = 0; i < 100; ++i) h.record(10);   // bucket 4: [8,16)
+  for (int i = 0; i < 10; ++i) h.record(1000);  // bucket 10: [512,1024)
+  EXPECT_EQ(h.count(), 110u);
+  EXPECT_EQ(h.sum(), 100u * 10 + 10u * 1000);
+  EXPECT_EQ(h.min(), 10u);
+  EXPECT_EQ(h.max(), 1000u);
+  EXPECT_NEAR(h.mean(), (100.0 * 10 + 10.0 * 1000) / 110.0, 1e-9);
+  // p50 lands in the low bucket, p99 in the high one; the estimate is
+  // the bucket's geometric midpoint so assert the bucket, not the
+  // exact value.
+  EXPECT_GE(h.approx_quantile(0.5), 8.0);
+  EXPECT_LT(h.approx_quantile(0.5), 16.0);
+  EXPECT_GE(h.approx_quantile(0.99), 512.0);
+  EXPECT_LT(h.approx_quantile(0.99), 1024.0);
+}
+
+TEST(ObsHistogramTest, EmptyHistogramIsZeroed) {
+  auto& h = registry().histogram("test.hist.empty", Unit::kNone);
+  h.reset();
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.min(), 0u);
+  EXPECT_EQ(h.max(), 0u);
+  EXPECT_EQ(h.mean(), 0.0);
+  EXPECT_EQ(h.approx_quantile(0.5), 0.0);
+}
+
+TEST(ObsTimerTest, ScopedTimerRecordsWhenEnabled) {
+  auto& h = registry().histogram("test.timer.on", Unit::kNanoseconds);
+  h.reset();
+  set_enabled(true);
+  { ScopedTimer t(h); }
+  EXPECT_EQ(h.count(), 1u);
+}
+
+TEST(ObsTimerTest, ScopedTimerSkipsWhenDisabled) {
+  auto& h = registry().histogram("test.timer.off", Unit::kNanoseconds);
+  h.reset();
+  set_enabled(false);
+  { ScopedTimer t(h); }
+  set_enabled(true);
+  EXPECT_EQ(h.count(), 0u);
+}
+
+TEST(ObsTimerTest, CancelAndIdempotentStop) {
+  auto& h = registry().histogram("test.timer.cancel", Unit::kNanoseconds);
+  h.reset();
+  {
+    ScopedTimer t(h);
+    t.cancel();
+  }
+  EXPECT_EQ(h.count(), 0u);
+  {
+    ScopedTimer t(h);
+    t.stop();
+    t.stop();  // second stop must not double-record
+  }
+  EXPECT_EQ(h.count(), 1u);
+}
+
+TEST(ObsRegistryTest, ThreadedIncrementsAreExact) {
+  auto& c = registry().counter("test.counter.threads");
+  auto& h = registry().histogram("test.hist.threads", Unit::kNone);
+  c.reset();
+  h.reset();
+  constexpr int kThreads = 4;
+  constexpr int kPerThread = 25000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&] {
+      for (int i = 0; i < kPerThread; ++i) {
+        c.inc();
+        h.record(7);
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(c.value(), static_cast<std::uint64_t>(kThreads) * kPerThread);
+  EXPECT_EQ(h.count(), static_cast<std::uint64_t>(kThreads) * kPerThread);
+}
+
+// ------------------------------------------------------ JSON round-trip
+
+/// Minimal JSON value — just enough to check what Snapshot emits.
+struct JsonValue {
+  enum class Kind { kNull, kBool, kNumber, kString, kArray, kObject };
+  Kind kind = Kind::kNull;
+  bool boolean = false;
+  double number = 0;
+  std::string str;
+  std::vector<JsonValue> array;
+  std::map<std::string, JsonValue> object;
+};
+
+class JsonParser {
+ public:
+  explicit JsonParser(const std::string& text) : s_(text) {}
+
+  JsonValue parse() {
+    JsonValue v = value();
+    skip_ws();
+    EXPECT_EQ(pos_, s_.size()) << "trailing garbage";
+    return v;
+  }
+
+  bool failed() const { return failed_; }
+
+ private:
+  void skip_ws() {
+    while (pos_ < s_.size() &&
+           std::isspace(static_cast<unsigned char>(s_[pos_]))) {
+      ++pos_;
+    }
+  }
+  char peek() {
+    skip_ws();
+    return pos_ < s_.size() ? s_[pos_] : '\0';
+  }
+  bool consume(char c) {
+    if (peek() != c) {
+      failed_ = true;
+      return false;
+    }
+    ++pos_;
+    return true;
+  }
+
+  JsonValue value() {
+    switch (peek()) {
+      case '{': return object();
+      case '[': return array();
+      case '"': return string_value();
+      case 't': case 'f': return boolean();
+      default: return number();
+    }
+  }
+
+  JsonValue object() {
+    JsonValue v;
+    v.kind = JsonValue::Kind::kObject;
+    consume('{');
+    if (peek() == '}') {
+      consume('}');
+      return v;
+    }
+    while (true) {
+      JsonValue key = string_value();
+      consume(':');
+      v.object[key.str] = value();
+      if (peek() != ',') break;
+      consume(',');
+    }
+    consume('}');
+    return v;
+  }
+
+  JsonValue array() {
+    JsonValue v;
+    v.kind = JsonValue::Kind::kArray;
+    consume('[');
+    if (peek() == ']') {
+      consume(']');
+      return v;
+    }
+    while (true) {
+      v.array.push_back(value());
+      if (peek() != ',') break;
+      consume(',');
+    }
+    consume(']');
+    return v;
+  }
+
+  JsonValue string_value() {
+    JsonValue v;
+    v.kind = JsonValue::Kind::kString;
+    if (!consume('"')) return v;
+    while (pos_ < s_.size() && s_[pos_] != '"') {
+      if (s_[pos_] == '\\' && pos_ + 1 < s_.size()) {
+        ++pos_;
+        switch (s_[pos_]) {
+          case 'n': v.str += '\n'; break;
+          case 't': v.str += '\t'; break;
+          default: v.str += s_[pos_]; break;
+        }
+      } else {
+        v.str += s_[pos_];
+      }
+      ++pos_;
+    }
+    if (pos_ < s_.size()) ++pos_;  // closing quote
+    return v;
+  }
+
+  JsonValue boolean() {
+    JsonValue v;
+    v.kind = JsonValue::Kind::kBool;
+    if (s_.compare(pos_, 4, "true") == 0) {
+      v.boolean = true;
+      pos_ += 4;
+    } else if (s_.compare(pos_, 5, "false") == 0) {
+      v.boolean = false;
+      pos_ += 5;
+    } else {
+      failed_ = true;
+    }
+    return v;
+  }
+
+  JsonValue number() {
+    JsonValue v;
+    v.kind = JsonValue::Kind::kNumber;
+    skip_ws();
+    std::size_t start = pos_;
+    while (pos_ < s_.size() &&
+           (std::isdigit(static_cast<unsigned char>(s_[pos_])) ||
+            s_[pos_] == '-' || s_[pos_] == '+' || s_[pos_] == '.' ||
+            s_[pos_] == 'e' || s_[pos_] == 'E')) {
+      ++pos_;
+    }
+    if (start == pos_) {
+      failed_ = true;
+      return v;
+    }
+    v.number = std::stod(s_.substr(start, pos_ - start));
+    return v;
+  }
+
+  const std::string& s_;
+  std::size_t pos_ = 0;
+  bool failed_ = false;
+};
+
+TEST(ObsJsonTest, SnapshotRoundTrips) {
+  registry().counter("test.json.counter").reset();
+  registry().counter("test.json.counter").inc(1234);
+  auto& g = registry().gauge("test.json.gauge");
+  g.reset();
+  g.update(77);
+  g.update(50);
+  auto& h = registry().histogram("test.json.hist", Unit::kNanoseconds);
+  h.reset();
+  for (int i = 0; i < 5; ++i) h.record(100);
+
+  auto snap = registry().snapshot();
+  const std::string json = snap.to_json();
+
+  JsonParser parser(json);
+  JsonValue root = parser.parse();
+  ASSERT_FALSE(parser.failed()) << json;
+  ASSERT_EQ(root.kind, JsonValue::Kind::kObject);
+
+  ASSERT_TRUE(root.object.count("enabled"));
+  EXPECT_EQ(root.object["enabled"].kind, JsonValue::Kind::kBool);
+
+  auto& counters = root.object["counters"];
+  ASSERT_EQ(counters.kind, JsonValue::Kind::kObject);
+  ASSERT_TRUE(counters.object.count("test.json.counter")) << json;
+  EXPECT_DOUBLE_EQ(counters.object["test.json.counter"].number, 1234.0);
+
+  auto& gauges = root.object["gauges"];
+  ASSERT_EQ(gauges.kind, JsonValue::Kind::kObject);
+  ASSERT_TRUE(gauges.object.count("test.json.gauge"));
+  EXPECT_DOUBLE_EQ(gauges.object["test.json.gauge"].object["value"].number,
+                   50.0);
+  EXPECT_DOUBLE_EQ(gauges.object["test.json.gauge"].object["max"].number,
+                   77.0);
+
+  auto& hists = root.object["histograms"];
+  ASSERT_EQ(hists.kind, JsonValue::Kind::kObject);
+  ASSERT_TRUE(hists.object.count("test.json.hist"));
+  auto& hv = hists.object["test.json.hist"];
+  EXPECT_EQ(hv.object["unit"].str, "ns");
+  EXPECT_DOUBLE_EQ(hv.object["count"].number, 5.0);
+  EXPECT_DOUBLE_EQ(hv.object["sum"].number, 500.0);
+  EXPECT_DOUBLE_EQ(hv.object["min"].number, 100.0);
+  EXPECT_DOUBLE_EQ(hv.object["max"].number, 100.0);
+  // 100 has bit width 7, so the only non-empty bucket is [64,128).
+  ASSERT_EQ(hv.object["buckets"].array.size(), 1u);
+  EXPECT_DOUBLE_EQ(hv.object["buckets"].array[0].array[0].number, 7.0);
+  EXPECT_DOUBLE_EQ(hv.object["buckets"].array[0].array[1].number, 5.0);
+}
+
+TEST(ObsJsonTest, EscapesSpecialCharacters) {
+  registry().counter("test.json.\"quoted\"\\name").inc();
+  const std::string json = registry().to_json();
+  JsonParser parser(json);
+  JsonValue root = parser.parse();
+  ASSERT_FALSE(parser.failed()) << json;
+  EXPECT_TRUE(
+      root.object["counters"].object.count("test.json.\"quoted\"\\name"))
+      << json;
+}
+
+TEST(ObsSnapshotTest, TableListsEveryMetric) {
+  registry().counter("test.table.counter").inc();
+  registry().histogram("test.table.hist", Unit::kNanoseconds).record(5);
+  auto table = registry().snapshot().table("t");
+  std::ostringstream os;
+  table.print(os);
+  const std::string out = os.str();
+  EXPECT_NE(out.find("test.table.counter"), std::string::npos);
+  EXPECT_NE(out.find("test.table.hist"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace ickpt::obs

@@ -25,7 +25,8 @@ TEST(SchedulerIntegrationTest, ChecksAndRestoresAtBurstBoundaries) {
   ASSERT_TRUE((*app)->init().is_ok());
 
   auto storage = storage::make_memory_backend();
-  checkpoint::Checkpointer ckpt((*app)->space(), *storage, {});
+  auto ckpt =
+      checkpoint::Checkpointer::create((*app)->space(), storage.get()).value();
 
   checkpoint::BurstAwareScheduler::Options sched_opts;
   sched_opts.min_interval = 5.0;
@@ -38,7 +39,7 @@ TEST(SchedulerIntegrationTest, ChecksAndRestoresAtBurstBoundaries) {
   sopts.on_sample = [&](const trace::Sample& s,
                         const memtrack::DirtySnapshot& snap) {
     if (scheduler.observe(s)) {
-      auto meta = ckpt.checkpoint_incremental(snap, s.t_end);
+      auto meta = ckpt->checkpoint_incremental(snap, s.t_end);
       ASSERT_TRUE(meta.is_ok());
       fire_times.push_back(s.t_end);
     }

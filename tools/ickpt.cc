@@ -6,11 +6,19 @@
 //   ickpt study --app NAME [--timeslice S] [--ranks N] [--engine E]
 //               [--scale F] [--run-vs S] [--csv FILE] [--phase S]
 //               [--ckpt-dir DIR] [--encode-threads N] [--async]
-//               [--no-compress]
+//               [--no-compress] [--stats]
 //       Run a feasibility study and print the measured
 //       characterization, bandwidth requirement and verdict.
 //       With --ckpt-dir it also writes a real full+incremental
 //       checkpoint chain (parallel encode, optional async writer).
+//       With --stats it appends the observability snapshot: fault
+//       cost, per-stage checkpoint timing, storage metrics — as a
+//       table and as JSON.
+//
+//   ickpt stats [--iters N] [--json]
+//       Self-benchmark the metrics layer (cost per counter increment,
+//       histogram record, enabled and idle scoped timer) and print the
+//       resulting registry snapshot.
 //
 //   ickpt fsck DIR
 //       Verify every checkpoint chain in a file-backend directory.
@@ -18,11 +26,12 @@
 //   ickpt replay TRACE.wt
 //       Replay a saved write trace through the explicit engine and
 //       print the IWS per slice.
+//
+// All flags go through common/flags: unknown flags, malformed values
+// and unknown app/engine names are hard errors with exit code 2.
 #include <algorithm>
 #include <cstdio>
 #include <iostream>
-#include <cstring>
-#include <map>
 #include <string>
 
 #include "analysis/distribution.h"
@@ -31,9 +40,12 @@
 #include "apps/catalog.h"
 #include "checkpoint/inspect.h"
 #include "common/arena.h"
+#include "common/flags.h"
 #include "common/table.h"
 #include "common/units.h"
 #include "core/study.h"
+#include "obs/metrics.h"
+#include "obs/timer.h"
 #include "storage/backend.h"
 #include "trace/write_trace.h"
 
@@ -49,28 +61,41 @@ int usage() {
                "                   [--scale F] [--run-vs S] [--phase S]\n"
                "                   [--csv FILE] [--trace FILE]\n"
                "                   [--ckpt-dir DIR] [--encode-threads N]\n"
-               "                   [--async] [--no-compress]\n"
+               "                   [--async] [--no-compress] [--stats]\n"
+               "       ickpt stats [--iters N] [--json]\n"
                "       ickpt fsck DIR\n"
-               "       ickpt replay TRACE.wt\n");
+               "       ickpt replay TRACE.wt\n"
+               "('ickpt <command> --help' lists every flag.)\n");
   return 2;
 }
 
-std::map<std::string, std::string> parse_flags(int argc, char** argv,
-                                               int first) {
-  std::map<std::string, std::string> flags;
-  for (int i = first; i < argc; ++i) {
-    if (std::strncmp(argv[i], "--", 2) != 0) continue;
-    const std::string name = argv[i] + 2;
-    if (i + 1 < argc && std::strncmp(argv[i + 1], "--", 2) != 0) {
-      flags[name] = argv[++i];
-    } else {
-      flags[name] = "1";  // valueless boolean flag (--async)
-    }
-  }
-  return flags;
+/// Shared exit path for flag errors: message, then the per-command
+/// flag reference.
+int flag_error(const Status& st, const FlagSet& flags) {
+  std::fprintf(stderr, "%s\n%s", st.to_string().c_str(),
+               flags.help().c_str());
+  return 2;
 }
 
-int cmd_apps() {
+Result<memtrack::EngineKind> parse_engine(const std::string& name) {
+  if (name == "mprotect") return memtrack::EngineKind::kMProtect;
+  if (name == "softdirty") return memtrack::EngineKind::kSoftDirty;
+  if (name == "uffd") return memtrack::EngineKind::kUffd;
+  if (name == "explicit") return memtrack::EngineKind::kExplicit;
+  return invalid_argument("ickpt: unknown engine '" + name +
+                          "' (expected mprotect|softdirty|uffd|explicit)");
+}
+
+void print_metrics(const obs::Snapshot& snap, const std::string& title) {
+  snap.table(title).print(std::cout);
+  std::printf("%s\n", snap.to_json().c_str());
+}
+
+int cmd_apps(int argc, char** argv) {
+  FlagSet flags("ickpt apps");
+  auto st = flags.parse(argc, argv, 2);
+  if (!st.is_ok()) return flag_error(st, flags);
+
   TextTable table("Calibrated applications");
   table.set_header({"Name", "Footprint max (MB)", "Period (s)",
                     "Overwrite %", "Avg IB@1s (MB/s)"});
@@ -92,52 +117,63 @@ int cmd_apps() {
 }
 
 int cmd_study(int argc, char** argv) {
-  auto flags = parse_flags(argc, argv, 2);
   StudyConfig cfg;
   cfg.footprint_scale = 1.0 / 16.0;
-  if (auto it = flags.find("app"); it != flags.end()) cfg.app = it->second;
-  if (auto it = flags.find("timeslice"); it != flags.end()) {
-    cfg.timeslice = std::atof(it->second.c_str());
-  }
-  if (auto it = flags.find("ranks"); it != flags.end()) {
-    cfg.nprocs = std::atoi(it->second.c_str());
-  }
-  if (auto it = flags.find("scale"); it != flags.end()) {
-    cfg.footprint_scale = std::atof(it->second.c_str());
-  }
-  if (auto it = flags.find("run-vs"); it != flags.end()) {
-    cfg.run_vs = std::atof(it->second.c_str());
-  }
-  if (auto it = flags.find("phase"); it != flags.end()) {
-    cfg.sample_phase = std::atof(it->second.c_str());
-  }
+  std::string engine_name = "mprotect";
+  std::string csv_path;
   std::string trace_path;
-  if (auto it = flags.find("trace"); it != flags.end()) {
-    trace_path = it->second;
-    cfg.capture_trace = true;
+  bool no_compress = false;
+  bool want_stats = false;
+  bool help = false;
+
+  FlagSet flags("ickpt study");
+  flags.add_string("app", &cfg.app, "application to study (see 'ickpt apps')");
+  flags.add_double("timeslice", &cfg.timeslice, "sampling timeslice (s)");
+  flags.add_int("ranks", &cfg.nprocs, "ranks to run (threads over minimpi)");
+  flags.add_string("engine", &engine_name,
+                   "dirty-page engine: mprotect|softdirty|uffd|explicit");
+  flags.add_double("scale", &cfg.footprint_scale,
+                   "footprint scale vs the paper's machines");
+  flags.add_double("run-vs", &cfg.run_vs,
+                   "virtual run length (s); 0 = auto");
+  flags.add_double("phase", &cfg.sample_phase,
+                   "offset of the first slice boundary (s)");
+  flags.add_string("csv", &csv_path, "write rank 0's series to this CSV");
+  flags.add_string("trace", &trace_path,
+                   "save rank 0's write trace ('ickpt replay' reads it)");
+  flags.add_string("ckpt-dir", &cfg.checkpoint_dir,
+                   "write a real checkpoint chain to this directory");
+  flags.add_int("encode-threads", &cfg.encode_threads,
+                "page-encode worker threads");
+  flags.add_bool("async", &cfg.async_writes,
+                 "overlap backend I/O with computation");
+  flags.add_bool("no-compress", &no_compress,
+                 "disable per-page payload compression");
+  flags.add_bool("stats", &want_stats,
+                 "print the observability snapshot (table + JSON)");
+  flags.add_bool("help", &help, "show this help");
+
+  auto parsed = flags.parse(argc, argv, 2);
+  if (!parsed.is_ok()) return flag_error(parsed, flags);
+  if (help) {
+    std::printf("%s", flags.help().c_str());
+    return 0;
   }
-  if (auto it = flags.find("ckpt-dir"); it != flags.end()) {
-    cfg.checkpoint_dir = it->second;
+  cfg.compress = !no_compress;
+  cfg.capture_trace = !trace_path.empty();
+
+  auto engine = parse_engine(engine_name);
+  if (!engine.is_ok()) {
+    std::fprintf(stderr, "%s\n", engine.status().to_string().c_str());
+    return 2;
   }
-  if (auto it = flags.find("encode-threads"); it != flags.end()) {
-    cfg.encode_threads = std::max(1, std::atoi(it->second.c_str()));
-  }
-  if (flags.count("async") != 0) cfg.async_writes = true;
-  if (flags.count("no-compress") != 0) cfg.compress = false;
-  if (auto it = flags.find("engine"); it != flags.end()) {
-    const std::string& e = it->second;
-    if (e == "mprotect") {
-      cfg.engine = memtrack::EngineKind::kMProtect;
-    } else if (e == "softdirty") {
-      cfg.engine = memtrack::EngineKind::kSoftDirty;
-    } else if (e == "uffd") {
-      cfg.engine = memtrack::EngineKind::kUffd;
-    } else if (e == "explicit") {
-      cfg.engine = memtrack::EngineKind::kExplicit;
-    } else {
-      std::fprintf(stderr, "unknown engine '%s'\n", e.c_str());
-      return 2;
-    }
+  cfg.engine = *engine;
+  // Validate the app name up front so a typo is a usage error (exit 2
+  // like any other bad flag value), not a late study failure.
+  if (auto period = apps::app_period(cfg.app); !period.is_ok()) {
+    std::fprintf(stderr, "ickpt study: %s\n",
+                 period.status().to_string().c_str());
+    return 2;
   }
 
   auto r = run_study(cfg);
@@ -196,13 +232,13 @@ int cmd_study(int argc, char** argv) {
         cfg.async_writes ? ", async" : "");
   }
 
-  if (auto it = flags.find("csv"); it != flags.end()) {
-    auto st = r->per_rank[0].write_csv(it->second);
+  if (!csv_path.empty()) {
+    auto st = r->per_rank[0].write_csv(csv_path);
     if (!st.is_ok()) {
       std::fprintf(stderr, "csv: %s\n", st.to_string().c_str());
       return 1;
     }
-    std::printf("series csv  : %s\n", it->second.c_str());
+    std::printf("series csv  : %s\n", csv_path.c_str());
   }
   if (!trace_path.empty()) {
     auto st = r->write_trace.save(trace_path);
@@ -212,6 +248,81 @@ int cmd_study(int argc, char** argv) {
     }
     std::printf("write trace : %s (%zu events; 'ickpt replay' reads it)\n",
                 trace_path.c_str(), r->write_trace.events().size());
+  }
+  if (want_stats) print_metrics(r->metrics, "study metrics");
+  return 0;
+}
+
+int cmd_stats(int argc, char** argv) {
+  int iters = 1000000;
+  bool json_only = false;
+  bool help = false;
+  FlagSet flags("ickpt stats");
+  flags.add_int("iters", &iters, "iterations per micro-benchmark loop");
+  flags.add_bool("json", &json_only, "print only the JSON snapshot");
+  flags.add_bool("help", &help, "show this help");
+  auto parsed = flags.parse(argc, argv, 2);
+  if (!parsed.is_ok()) return flag_error(parsed, flags);
+  if (help) {
+    std::printf("%s", flags.help().c_str());
+    return 0;
+  }
+  if (iters < 1) {
+    std::fprintf(stderr, "ickpt stats: --iters must be >= 1\n");
+    return 2;
+  }
+  const auto n = static_cast<std::uint64_t>(iters);
+
+  // Self-benchmark: the per-operation cost of each primitive the rest
+  // of the system sprinkles on its hot paths (Section 6.5's
+  // intrusiveness question, asked of the instrumentation itself).
+  auto& reg = obs::registry();
+  auto& counter = reg.counter("obs.bench.count");
+  auto& hist = reg.histogram("obs.bench.value_ns", obs::Unit::kNanoseconds);
+  auto& timed = reg.histogram("obs.bench.timed_ns", obs::Unit::kNanoseconds);
+
+  auto per_op = [n](std::uint64_t t0, std::uint64_t t1) {
+    return static_cast<double>(t1 - t0) / static_cast<double>(n);
+  };
+
+  std::uint64_t t0 = obs::now_ns();
+  for (std::uint64_t i = 0; i < n; ++i) counter.inc();
+  const double counter_ns = per_op(t0, obs::now_ns());
+
+  t0 = obs::now_ns();
+  for (std::uint64_t i = 0; i < n; ++i) hist.record(i & 0xFFFF);
+  const double record_ns = per_op(t0, obs::now_ns());
+
+  t0 = obs::now_ns();
+  for (std::uint64_t i = 0; i < n; ++i) {
+    obs::ScopedTimer t(timed);
+  }
+  const double timer_ns = per_op(t0, obs::now_ns());
+
+  obs::set_enabled(false);
+  t0 = obs::now_ns();
+  for (std::uint64_t i = 0; i < n; ++i) {
+    obs::ScopedTimer t(timed);
+  }
+  const double idle_ns = per_op(t0, obs::now_ns());
+  obs::set_enabled(true);
+
+  if (!json_only) {
+    TextTable table("metrics layer self-benchmark (" +
+                    std::to_string(n) + " ops each)");
+    table.set_header({"Primitive", "ns/op"});
+    table.add_row({"counter inc", TextTable::num(counter_ns, 1)});
+    table.add_row({"histogram record", TextTable::num(record_ns, 1)});
+    table.add_row({"scoped timer (enabled)", TextTable::num(timer_ns, 1)});
+    table.add_row({"scoped timer (idle)", TextTable::num(idle_ns, 1)});
+    table.print(std::cout);
+  }
+
+  auto snap = reg.snapshot();
+  if (json_only) {
+    std::printf("%s\n", snap.to_json().c_str());
+  } else {
+    print_metrics(snap, "registry snapshot");
   }
   return 0;
 }
@@ -282,8 +393,9 @@ int cmd_replay(const char* path) {
 int main(int argc, char** argv) {
   if (argc < 2) return usage();
   std::string cmd = argv[1];
-  if (cmd == "apps") return cmd_apps();
+  if (cmd == "apps") return cmd_apps(argc, argv);
   if (cmd == "study") return cmd_study(argc, argv);
+  if (cmd == "stats") return cmd_stats(argc, argv);
   if (cmd == "fsck" && argc >= 3) return cmd_fsck(argv[2]);
   if (cmd == "replay" && argc >= 3) return cmd_replay(argv[2]);
   return usage();
