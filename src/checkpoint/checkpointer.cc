@@ -58,8 +58,12 @@ struct CkptMetrics {
 }  // namespace
 
 std::string checkpoint_key(std::uint32_t rank, std::uint64_t sequence) {
+  // 20 digits covers the full uint64 range, so lexicographic key order
+  // matches numeric sequence order (the old 12-digit pad mis-sorted at
+  // sequence >= 10^12).  Readers still sort parsed sequences
+  // numerically, which also keeps mixed-pad stores restorable.
   char buf[64];
-  std::snprintf(buf, sizeof buf, "rank%u/ckpt-%012llu", rank,
+  std::snprintf(buf, sizeof buf, "rank%u/ckpt-%020llu", rank,
                 static_cast<unsigned long long>(sequence));
   return buf;
 }

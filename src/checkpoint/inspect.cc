@@ -13,15 +13,27 @@ namespace {
 
 /// Lightweight structural parse of one object: header fields only,
 /// with full-file CRC validation via read_checkpoint_file.
+/// Read exactly `len` bytes.  Streaming backends may legitimately
+/// return short counts, so a single read() is not enough.
+Status read_exact(storage::Reader& in, void* out, std::size_t len) {
+  auto* dst = static_cast<std::byte*>(out);
+  std::size_t got_total = 0;
+  while (got_total < len) {
+    auto got = in.read({dst + got_total, len - got_total});
+    if (!got.is_ok()) return got.status();
+    if (*got == 0) return corruption("unexpected end of object");
+    got_total += *got;
+  }
+  return Status::ok();
+}
+
 Result<ChainElement> inspect_object(storage::StorageBackend& storage,
                                     const std::string& key) {
   auto reader = storage.open(key);
   if (!reader.is_ok()) return reader.status();
   FileHeader header;
-  auto got = (*reader)->read(
-      {reinterpret_cast<std::byte*>(&header), sizeof header});
-  if (!got.is_ok()) return got.status();
-  if (*got != sizeof header || header.magic != kMagic) {
+  if (!read_exact(**reader, &header, sizeof header).is_ok() ||
+      header.magic != kMagic) {
     return corruption("bad header in " + key);
   }
   // Deep validation (structure + CRC) via the restore parser.
@@ -46,6 +58,48 @@ bool parse_rank_key(const std::string& key, std::uint32_t* rank) {
     return true;
   }
   return false;
+}
+
+/// Sequence of an object for repair placement: the header if readable
+/// (any zero-pad may appear in keys), the key otherwise.
+bool placement_sequence(storage::StorageBackend& storage,
+                        const std::string& key, std::uint64_t* seq) {
+  auto reader = storage.open(key);
+  if (reader.is_ok()) {
+    FileHeader header;
+    if (read_exact(**reader, &header, sizeof header).is_ok() &&
+        header.magic == kMagic) {
+      *seq = header.sequence;
+      return true;
+    }
+  }
+  unsigned long long r = 0, s = 0;
+  if (std::sscanf(key.c_str(), "rank%llu/ckpt-%llu", &r, &s) == 2) {
+    *seq = s;
+    return true;
+  }
+  return false;
+}
+
+/// Move an object's bytes under "quarantine/<key>" and remove the
+/// original.  Preserves evidence while getting damage out of the way
+/// of restore and inspect (neither looks under "quarantine/").
+Status quarantine(storage::StorageBackend& storage, const std::string& key,
+                  std::string* quarantine_key) {
+  *quarantine_key = "quarantine/" + key;
+  auto reader = storage.open(key);
+  if (!reader.is_ok()) return reader.status();
+  auto writer = storage.create(*quarantine_key);
+  if (!writer.is_ok()) return writer.status();
+  std::vector<std::byte> buf(64 * 1024);
+  for (;;) {
+    auto got = (*reader)->read(buf);
+    if (!got.is_ok()) return got.status();
+    if (*got == 0) break;
+    ICKPT_RETURN_IF_ERROR((*writer)->write({buf.data(), *got}));
+  }
+  ICKPT_RETURN_IF_ERROR((*writer)->close());
+  return storage.remove(key);
 }
 
 }  // namespace
@@ -172,6 +226,87 @@ Result<StoreReport> inspect_store(storage::StorageBackend& storage) {
             "committed sequence " + std::to_string(seq) +
             " is not restorable on rank " + std::to_string(rank));
       }
+    }
+  }
+  return report;
+}
+
+Result<RepairReport> repair_store(storage::StorageBackend& storage) {
+  auto keys = storage.list();
+  if (!keys.is_ok()) return keys.status();
+
+  RepairReport report;
+  std::map<std::uint32_t, std::vector<std::string>> by_rank;
+  for (const auto& key : *keys) {
+    std::uint32_t rank = 0;
+    if (parse_rank_key(key, &rank)) by_rank[rank].push_back(key);
+  }
+
+  auto drop = [&](const std::string& key,
+                  const std::string& reason) -> Status {
+    std::string qkey;
+    ICKPT_RETURN_IF_ERROR(quarantine(storage, key, &qkey));
+    report.dropped.push_back({key, qkey, reason});
+    return Status::ok();
+  };
+
+  for (auto& [rank, rank_keys] : by_rank) {
+    // Establish the newest restorable prefix for this rank.
+    RestoreOptions options;
+    options.allow_truncated_tail = true;
+    options.decode_threads = 1;  // repair is not the hot path
+    auto state = restore_chain(storage, rank, options);
+    if (!state.is_ok()) {
+      // Nothing restorable: keep all the evidence, let a human look.
+      report.problems.push_back("rank " + std::to_string(rank) +
+                                " has no restorable prefix: " +
+                                state.status().to_string());
+      continue;
+    }
+    const std::uint64_t upto = state->sequence;
+    report.recovered_upto[rank] = upto;
+
+    for (const auto& key : rank_keys) {
+      std::uint64_t seq = 0;
+      if (!placement_sequence(storage, key, &seq)) {
+        ICKPT_RETURN_IF_ERROR(
+            drop(key, "orphan: unreadable header and unparseable key"));
+        continue;
+      }
+      if (seq > upto) {
+        ICKPT_RETURN_IF_ERROR(
+            drop(key, "beyond recovered sequence " + std::to_string(upto)));
+        continue;
+      }
+      // At or below the recovered sequence but individually corrupt
+      // (pre-seed garbage the planner never reads): restoring at
+      // `upto` succeeded without it, so quarantining is safe.
+      auto element = inspect_object(storage, key);
+      if (!element.is_ok()) {
+        ICKPT_RETURN_IF_ERROR(drop(key, element.status().to_string()));
+      }
+    }
+  }
+
+  // A commit marker promises its sequence is restorable everywhere;
+  // after truncation such a promise may no longer hold.
+  for (const auto& key : *keys) {
+    if (key.rfind("commit/", 0) != 0) continue;
+    unsigned long long seq = 0;
+    if (std::sscanf(key.c_str(), "commit/%llu", &seq) != 1) {
+      ICKPT_RETURN_IF_ERROR(drop(key, "unparseable commit marker"));
+      continue;
+    }
+    bool stale = false;
+    for (const auto& [rank, upto] : report.recovered_upto) {
+      if (seq > upto) {
+        stale = true;
+        break;
+      }
+    }
+    if (stale) {
+      ICKPT_RETURN_IF_ERROR(
+          drop(key, "commit marker beyond recovered sequence"));
     }
   }
   return report;

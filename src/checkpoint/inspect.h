@@ -55,4 +55,31 @@ Result<ChainReport> inspect_chain(storage::StorageBackend& storage,
 /// that has a chain).
 Result<StoreReport> inspect_store(storage::StorageBackend& storage);
 
+/// Outcome of `fsck --repair`: what was quarantined and where each
+/// rank's chain ends after repair.
+struct RepairReport {
+  struct Dropped {
+    std::string key;             ///< original object key
+    std::string quarantine_key;  ///< where the bytes were preserved
+    std::string reason;          ///< why it was dropped
+  };
+  std::vector<Dropped> dropped;
+  /// Newest restorable sequence per rank after repair.
+  std::map<std::uint32_t, std::uint64_t> recovered_upto;
+  /// Damage repair could not fix (e.g. a chain with no usable prefix).
+  std::vector<std::string> problems;
+
+  bool clean() const noexcept { return problems.empty(); }
+};
+
+/// Repair a damaged store in place: for each rank, find the newest
+/// restorable prefix (truncated-tail restore), then move everything
+/// past it — corrupt tails, orphans whose chain position cannot be
+/// determined, and individually corrupt objects the restore does not
+/// need — under "quarantine/<key>" so no bytes are destroyed.  Commit
+/// markers that promise a sequence newer than some rank's recovered
+/// prefix are quarantined too.  Idempotent: a second run drops
+/// nothing.
+Result<RepairReport> repair_store(storage::StorageBackend& storage);
+
 }  // namespace ickpt::checkpoint

@@ -9,13 +9,17 @@ bool BurstAwareScheduler::observe(const trace::Sample& sample) {
   const auto iws = static_cast<double>(sample.iws_bytes);
   if (seen_ == 0) {
     ewma_ = iws;
+    // Anchor the first interval to the trace's own clock: a scheduler
+    // attached mid-trace (t_end far from 0) must not see a huge
+    // phantom interval and immediately force a max-interval fire.
+    anchor_ = sample.t_end;
   } else {
     ewma_ = options_.ewma_alpha * iws + (1 - options_.ewma_alpha) * ewma_;
   }
   ++seen_;
 
   const double since_fire =
-      has_fired_ ? sample.t_end - last_fire_ : sample.t_end;
+      has_fired_ ? sample.t_end - last_fire_ : sample.t_end - anchor_;
 
   bool fire = false;
   bool was_forced = false;

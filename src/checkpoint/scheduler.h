@@ -56,6 +56,7 @@ class BurstAwareScheduler {
   Options options_;
   double ewma_ = 0;
   std::uint64_t seen_ = 0;
+  double anchor_ = 0;  ///< t_end of the first observed sample
   double last_fire_ = 0;
   std::uint64_t decisions_ = 0;
   std::uint64_t forced_ = 0;

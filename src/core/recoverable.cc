@@ -68,7 +68,9 @@ Result<int> RecoverableRun::begin(int max_step) {
   begun_ = true;
 
   int resume_step = 0;
-  auto state = checkpoint::restore_chain(backend_, options_.rank);
+  checkpoint::RestoreOptions ropts;
+  ropts.allow_truncated_tail = options_.allow_truncated_tail;
+  auto state = checkpoint::restore_chain(backend_, options_.rank, ropts);
   // Honour the resume bound: walk the chain backwards until the
   // recovered step is within it (coordinated restart must not resume
   // past the last globally committed step).
@@ -84,8 +86,8 @@ Result<int> RecoverableRun::begin(int max_step) {
       state = not_found("no checkpoint at or before the resume bound");
       break;
     }
-    state = checkpoint::restore_chain(backend_, options_.rank,
-                                      s.sequence - 1);
+    ropts.upto = s.sequence - 1;
+    state = checkpoint::restore_chain(backend_, options_.rank, ropts);
   }
   if (state.is_ok()) {
     // Recovery path: restored blocks map onto declared blocks by

@@ -38,6 +38,11 @@ class RecoverableRun {
     int checkpoint_every = 1;        ///< steps between checkpoints
     std::uint64_t full_every = 16;   ///< re-seed the chain periodically
     memtrack::EngineKind engine = memtrack::EngineKind::kMProtect;
+    /// When the chain's tail is damaged (the likely outcome of dying
+    /// mid-write), resume from the newest valid prefix instead of
+    /// refusing to start.  Set false to surface tail corruption as an
+    /// error from begin().
+    bool allow_truncated_tail = true;
   };
 
   /// Fails if the requested engine is unavailable.

@@ -78,6 +78,19 @@ class FileReader final : public Reader {
     if (got == 0 && !is_.eof()) return io_error("file read failed");
     return got;
   }
+  bool supports_read_at() const noexcept override { return true; }
+  Result<std::size_t> read_at(std::uint64_t offset,
+                              std::span<std::byte> out) override {
+    if (offset >= size_) return std::size_t{0};
+    is_.clear();
+    is_.seekg(static_cast<std::streamoff>(offset));
+    if (!is_) return io_error("file seek failed");
+    is_.read(reinterpret_cast<char*>(out.data()),
+             static_cast<std::streamsize>(out.size()));
+    auto got = static_cast<std::size_t>(is_.gcount());
+    if (got == 0 && !is_.eof()) return io_error("file read failed");
+    return got;
+  }
   std::uint64_t size() const noexcept override { return size_; }
 
  private:
@@ -155,9 +168,12 @@ Result<std::unique_ptr<StorageBackend>> make_file_backend(
 
 namespace {
 
+// Objects are immutable once closed; readers share the buffer instead
+// of copying it, so many concurrent readers of one object (parallel
+// restore shards) cost O(1) memory each.
 struct MemoryStore {
   std::mutex mu;
-  std::map<std::string, std::vector<std::byte>> objects;
+  std::map<std::string, std::shared_ptr<const std::vector<std::byte>>> objects;
   std::atomic<std::uint64_t> total{0};
 };
 
@@ -176,7 +192,8 @@ class MemoryWriter final : public Writer {
     bytes_ = buf_.size();
     store_->total.fetch_add(buf_.size(), std::memory_order_relaxed);
     std::lock_guard<std::mutex> lock(store_->mu);
-    store_->objects[key_] = std::move(buf_);
+    store_->objects[key_] =
+        std::make_shared<const std::vector<std::byte>>(std::move(buf_));
     return Status::ok();
   }
   std::uint64_t bytes_written() const noexcept override {
@@ -193,18 +210,27 @@ class MemoryWriter final : public Writer {
 
 class MemoryReader final : public Reader {
  public:
-  explicit MemoryReader(std::vector<std::byte> data)
+  explicit MemoryReader(std::shared_ptr<const std::vector<std::byte>> data)
       : data_(std::move(data)) {}
   Result<std::size_t> read(std::span<std::byte> out) override {
-    std::size_t n = std::min(out.size(), data_.size() - pos_);
-    std::memcpy(out.data(), data_.data() + pos_, n);
+    std::size_t n = std::min(out.size(), data_->size() - pos_);
+    std::memcpy(out.data(), data_->data() + pos_, n);
     pos_ += n;
     return n;
   }
-  std::uint64_t size() const noexcept override { return data_.size(); }
+  bool supports_read_at() const noexcept override { return true; }
+  Result<std::size_t> read_at(std::uint64_t offset,
+                              std::span<std::byte> out) override {
+    if (offset >= data_->size()) return std::size_t{0};
+    std::size_t n = std::min<std::uint64_t>(out.size(),
+                                            data_->size() - offset);
+    std::memcpy(out.data(), data_->data() + offset, n);
+    return n;
+  }
+  std::uint64_t size() const noexcept override { return data_->size(); }
 
  private:
-  std::vector<std::byte> data_;
+  std::shared_ptr<const std::vector<std::byte>> data_;
   std::size_t pos_ = 0;
 };
 
@@ -234,7 +260,7 @@ class MemoryBackend final : public StorageBackend {
     std::lock_guard<std::mutex> lock(store_->mu);
     std::vector<std::string> keys;
     keys.reserve(store_->objects.size());
-    for (const auto& [k, v] : store_->objects) keys.push_back(k);
+    for (const auto& [k, data] : store_->objects) keys.push_back(k);
     return keys;
   }
   bool exists(const std::string& key) override {

@@ -35,13 +35,29 @@ class Writer {
   virtual std::uint64_t bytes_written() const noexcept = 0;
 };
 
-/// Sequential reader for one object.
+/// Sequential reader for one object.  Backends that can serve byte
+/// ranges also implement read_at(), which the parallel restore path
+/// uses to fetch page payloads without streaming the whole object.
 class Reader {
  public:
   virtual ~Reader() = default;
   /// Reads up to out.size() bytes; returns the count (0 at EOF).
   virtual Result<std::size_t> read(std::span<std::byte> out) = 0;
   virtual std::uint64_t size() const noexcept = 0;
+
+  /// True when read_at() is implemented.
+  virtual bool supports_read_at() const noexcept { return false; }
+
+  /// Reads up to out.size() bytes starting at `offset`; returns the
+  /// count (0 when offset is at or past EOF).  May reposition the
+  /// sequential cursor — callers must not interleave read() and
+  /// read_at() on the same reader.
+  virtual Result<std::size_t> read_at(std::uint64_t offset,
+                                      std::span<std::byte> out) {
+    (void)offset;
+    (void)out;
+    return unsupported("read_at not supported by this backend");
+  }
 };
 
 class StorageBackend {

@@ -131,13 +131,28 @@ TEST_P(CheckpointFuzzTest, EverySequenceRestoresExactly) {
   ASSERT_TRUE(meta.is_ok());
   truth_at[meta->sequence] = snapshot_space(space);
 
-  // Every recorded sequence must restore to its exact ground truth.
+  // Every recorded sequence must restore to its exact ground truth —
+  // through the planned pipeline (serial and parallel decode) and the
+  // serial reference restorer, all byte-identical.
   for (const auto& [seq, truth] : truth_at) {
-    auto state = restore_chain(*storage, 0, seq);
-    ASSERT_TRUE(state.is_ok())
-        << "seq " << seq << ": " << state.status().to_string();
-    EXPECT_EQ(state->sequence, seq);
-    expect_state_matches(*state, truth, seq);
+    auto reference = restore_chain_serial(*storage, 0, seq);
+    ASSERT_TRUE(reference.is_ok())
+        << "seq " << seq << ": " << reference.status().to_string();
+    EXPECT_EQ(reference->sequence, seq);
+    expect_state_matches(*reference, truth, seq);
+
+    for (int threads : {1, 4}) {
+      RestoreOptions ropts;
+      ropts.upto = seq;
+      ropts.decode_threads = threads;
+      auto state = restore_chain(*storage, 0, ropts);
+      ASSERT_TRUE(state.is_ok())
+          << "seq " << seq << " (threads " << threads
+          << "): " << state.status().to_string();
+      EXPECT_EQ(state->sequence, seq);
+      expect_state_matches(*state, truth, seq);
+      EXPECT_EQ(state->virtual_time, reference->virtual_time);
+    }
   }
 }
 

@@ -12,6 +12,7 @@
 #include "minimpi/comm.h"
 #include "region/address_space.h"
 #include "storage/backend.h"
+#include "tests/chunked_backend_fake.h"
 
 namespace ickpt::checkpoint {
 namespace {
@@ -62,6 +63,19 @@ TEST_F(InspectTest, HealthyChainReportsClean) {
   EXPECT_TRUE(report->recoverable);
   EXPECT_EQ(report->recoverable_upto, 4u);
   EXPECT_GT(report->total_bytes, 0u);
+}
+
+// Regression: inspect_object issued a single read() for the header
+// and mistook a legitimate short read for corruption.  A streaming
+// backend serving 7 bytes at a time must still inspect cleanly.
+TEST_F(InspectTest, ShortReadingBackendInspectsCleanly) {
+  write_chain(3);
+  storage::ChunkedBackend chunked(*storage_, 7);
+  auto report = inspect_chain(chunked, 0);
+  ASSERT_TRUE(report.is_ok());
+  EXPECT_TRUE(report->healthy()) << report->problems.front();
+  EXPECT_EQ(report->elements.size(), 4u);
+  EXPECT_TRUE(report->recoverable);
 }
 
 TEST_F(InspectTest, MissingRankReportsProblem) {

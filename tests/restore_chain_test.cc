@@ -1,0 +1,474 @@
+// The plan-then-decode restore pipeline: parallel-vs-serial byte
+// identity, upto filtering, gap and corruption handling (strict and
+// truncated-tail), memory exclusion across long chains, decode-once
+// accounting, numeric sequence ordering at the key-pad boundary, and
+// store repair.
+#include "checkpoint/restore.h"
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+
+#include "checkpoint/checkpointer.h"
+#include "checkpoint/format.h"
+#include "checkpoint/inspect.h"
+#include "common/crc32.h"
+#include "common/rng.h"
+#include "memtrack/explicit_engine.h"
+#include "obs/metrics.h"
+#include "region/address_space.h"
+#include "storage/backend.h"
+#include "tests/chunked_backend_fake.h"
+
+namespace ickpt::checkpoint {
+namespace {
+
+using memtrack::ExplicitEngine;
+using region::AddressSpace;
+using region::AreaKind;
+
+void fill_pattern(std::span<std::byte> mem, std::uint64_t seed) {
+  Rng rng(seed);
+  for (std::size_t i = 0; i < mem.size(); i += 8) {
+    std::uint64_t v = rng.next_u64();
+    std::memcpy(mem.data() + i, &v, std::min<std::size_t>(8, mem.size() - i));
+  }
+}
+
+void expect_states_identical(const RestoredState& a, const RestoredState& b) {
+  EXPECT_EQ(a.sequence, b.sequence);
+  EXPECT_DOUBLE_EQ(a.virtual_time, b.virtual_time);
+  ASSERT_EQ(a.blocks.size(), b.blocks.size());
+  auto ia = a.blocks.begin();
+  auto ib = b.blocks.begin();
+  for (; ia != a.blocks.end(); ++ia, ++ib) {
+    EXPECT_EQ(ia->first, ib->first);
+    EXPECT_EQ(ia->second.name, ib->second.name);
+    EXPECT_EQ(ia->second.kind, ib->second.kind);
+    ASSERT_EQ(ia->second.data.size(), ib->second.data.size())
+        << "block " << ia->first;
+    EXPECT_EQ(std::memcmp(ia->second.data.data(), ib->second.data.data(),
+                          ia->second.data.size()),
+              0)
+        << "content mismatch in block " << ia->first;
+  }
+}
+
+class RestoreChainTest : public ::testing::Test {
+ protected:
+  RestoreChainTest()
+      : storage_(storage::make_memory_backend()),
+        space_(engine_, "rank0"),
+        ckpt_(Checkpointer::create(space_, storage_.get()).value()) {}
+
+  /// Map a block, fill it, and return its span.
+  std::span<std::byte> add_block(std::size_t pages, const char* name,
+                                 std::uint64_t seed) {
+    auto b = space_.map(pages * page_size(), AreaKind::kHeap, name);
+    EXPECT_TRUE(b.is_ok());
+    fill_pattern(b->mem, seed);
+    ids_.push_back(b->id);
+    return b->mem;
+  }
+
+  /// Dirty `page` of `mem` with fresh content and tell the tracker.
+  void touch(std::span<std::byte> mem, std::size_t page,
+             std::uint64_t seed) {
+    auto p = mem.subspan(page * page_size(), page_size());
+    fill_pattern(p, seed);
+    engine_.note_write(p.data(), p.size());
+  }
+
+  void incremental(double vt) {
+    auto snap = engine_.collect(true);
+    ASSERT_TRUE(snap.is_ok());
+    ASSERT_TRUE(ckpt_->checkpoint_incremental(*snap, vt).is_ok());
+  }
+
+  std::vector<std::byte> read_object(const std::string& key) {
+    auto reader = storage_->open(key);
+    EXPECT_TRUE(reader.is_ok());
+    std::vector<std::byte> data((*reader)->size());
+    std::size_t off = 0;
+    while (off < data.size()) {
+      auto got = (*reader)->read({data.data() + off, data.size() - off});
+      EXPECT_TRUE(got.is_ok());
+      if (*got == 0) break;
+      off += *got;
+    }
+    return data;
+  }
+
+  void write_object(const std::string& key,
+                    std::span<const std::byte> data) {
+    auto w = storage_->create(key);
+    ASSERT_TRUE(w.is_ok());
+    ASSERT_TRUE((*w)->write(data).is_ok());
+    ASSERT_TRUE((*w)->close().is_ok());
+  }
+
+  /// Flip one byte inside the last page payload (just ahead of the
+  /// trailer), which a restore that needs this object must detect.
+  void corrupt_payload(const std::string& key) {
+    auto data = read_object(key);
+    ASSERT_GT(data.size(), sizeof(FileTrailer) + 16);
+    data[data.size() - sizeof(FileTrailer) - 8] ^= std::byte{0xFF};
+    write_object(key, data);
+  }
+
+  /// Destroy the object's header so not even its sequence is readable.
+  void corrupt_header(const std::string& key) {
+    auto data = read_object(key);
+    std::memset(data.data(), 0x5A, std::min<std::size_t>(16, data.size()));
+    write_object(key, data);
+  }
+
+  /// Standard chain: 1 full + `increments` incrementals over block "a"
+  /// (8 pages), each touching two pages.  Chain sequences are
+  /// 0..increments.
+  std::span<std::byte> build_chain(int increments) {
+    auto a = add_block(8, "a", 1);
+    EXPECT_TRUE(ckpt_->checkpoint_full(0.0).is_ok());
+    EXPECT_TRUE(engine_.arm().is_ok());
+    for (int i = 1; i <= increments; ++i) {
+      touch(a, static_cast<std::size_t>(i) % 8, 100 + i);
+      touch(a, static_cast<std::size_t>(i * 3 + 1) % 8, 200 + i);
+      incremental(static_cast<double>(i));
+    }
+    return a;
+  }
+
+  ExplicitEngine engine_;
+  std::unique_ptr<storage::StorageBackend> storage_;
+  AddressSpace space_;
+  std::unique_ptr<Checkpointer> ckpt_;
+  std::vector<region::BlockId> ids_;
+};
+
+TEST_F(RestoreChainTest, ParallelMatchesSerialAcrossEventfulChain) {
+  // An eventful chain: several blocks, a mid-chain unmap (memory
+  // exclusion) and a mid-chain map (zero-filled birth + later dirty).
+  auto a = add_block(8, "a", 1);
+  auto b = add_block(3, "b", 2);
+  ASSERT_TRUE(ckpt_->checkpoint_full(0.0).is_ok());
+  ASSERT_TRUE(engine_.arm().is_ok());
+
+  touch(a, 2, 11);
+  touch(b, 1, 12);
+  incremental(1.0);
+
+  ASSERT_TRUE(space_.unmap(ids_[1]).is_ok());  // drop "b"
+  touch(a, 5, 13);
+  incremental(2.0);
+
+  auto c = add_block(4, "c", 3);
+  for (std::size_t p = 0; p < 4; ++p) touch(c, p, 20 + p);
+  touch(a, 0, 14);
+  incremental(3.0);
+
+  touch(c, 2, 30);
+  incremental(4.0);
+
+  auto serial = restore_chain_serial(*storage_, 0);
+  ASSERT_TRUE(serial.is_ok());
+  EXPECT_EQ(serial->blocks.count(ids_[1]), 0u);  // exclusion applied
+
+  for (int threads : {1, 2, 4}) {
+    RestoreOptions opts;
+    opts.decode_threads = threads;
+    auto planned = restore_chain(*storage_, 0, opts);
+    ASSERT_TRUE(planned.is_ok()) << planned.status().to_string();
+    expect_states_identical(*serial, *planned);
+  }
+}
+
+TEST_F(RestoreChainTest, MemoryExclusionAcrossThreeIncrementals) {
+  auto a = add_block(4, "a", 1);
+  add_block(2, "b", 2);
+  add_block(2, "c", 3);
+  ASSERT_TRUE(ckpt_->checkpoint_full(0.0).is_ok());
+  ASSERT_TRUE(engine_.arm().is_ok());
+
+  ASSERT_TRUE(space_.unmap(ids_[1]).is_ok());
+  touch(a, 0, 10);
+  incremental(1.0);
+
+  ASSERT_TRUE(space_.unmap(ids_[2]).is_ok());
+  touch(a, 1, 11);
+  incremental(2.0);
+
+  touch(a, 2, 12);
+  incremental(3.0);
+
+  auto planned = restore_chain(*storage_, 0);
+  ASSERT_TRUE(planned.is_ok());
+  EXPECT_EQ(planned->blocks.size(), 1u);
+  EXPECT_EQ(planned->blocks.count(ids_[0]), 1u);
+  EXPECT_EQ(std::memcmp(planned->blocks[ids_[0]].data.data(), a.data(),
+                        a.size()),
+            0);
+
+  auto serial = restore_chain_serial(*storage_, 0);
+  ASSERT_TRUE(serial.is_ok());
+  expect_states_identical(*serial, *planned);
+}
+
+TEST_F(RestoreChainTest, UptoRestoresEveryIntermediateState) {
+  build_chain(5);
+  for (std::uint64_t upto = 0; upto <= 5; ++upto) {
+    auto serial = restore_chain_serial(*storage_, 0, upto);
+    ASSERT_TRUE(serial.is_ok()) << "upto " << upto;
+    EXPECT_EQ(serial->sequence, upto);
+    auto planned = restore_chain(*storage_, 0, upto);
+    ASSERT_TRUE(planned.is_ok()) << "upto " << upto;
+    expect_states_identical(*serial, *planned);
+  }
+}
+
+// Regression (the old restorer fully parsed objects newer than `upto`
+// before discarding them, so damage there failed unrelated restores):
+// a corrupt object NEWER than the requested sequence must not matter.
+TEST_F(RestoreChainTest, CorruptPayloadNewerThanUptoIsIgnored) {
+  build_chain(4);
+  corrupt_payload(checkpoint_key(0, 4));
+  auto state = restore_chain(*storage_, 0, /*upto=*/2);
+  ASSERT_TRUE(state.is_ok()) << state.status().to_string();
+  EXPECT_EQ(state->sequence, 2u);
+  // ... while a restore that needs the object still fails.
+  auto full = restore_chain(*storage_, 0);
+  EXPECT_FALSE(full.is_ok());
+  EXPECT_EQ(full.status().code(), ErrorCode::kCorruption);
+}
+
+TEST_F(RestoreChainTest, ObliteratedHeaderNewerThanUptoIsIgnored) {
+  build_chain(4);
+  corrupt_header(checkpoint_key(0, 4));  // sequence only via the key
+  auto state = restore_chain(*storage_, 0, /*upto=*/2);
+  ASSERT_TRUE(state.is_ok()) << state.status().to_string();
+  EXPECT_EQ(state->sequence, 2u);
+}
+
+TEST_F(RestoreChainTest, GapIsDetectedStrictly) {
+  build_chain(4);
+  ASSERT_TRUE(storage_->remove(checkpoint_key(0, 2)).is_ok());
+  auto state = restore_chain(*storage_, 0);
+  ASSERT_FALSE(state.is_ok());
+  EXPECT_EQ(state.status().code(), ErrorCode::kCorruption);
+  EXPECT_NE(state.status().message().find("chain gap"), std::string::npos);
+}
+
+TEST_F(RestoreChainTest, GapRecoversToPrefixWithTruncatedTail) {
+  auto a = build_chain(4);
+  (void)a;
+  ASSERT_TRUE(storage_->remove(checkpoint_key(0, 2)).is_ok());
+  RestoreOptions opts;
+  opts.allow_truncated_tail = true;
+  auto state = restore_chain(*storage_, 0, opts);
+  ASSERT_TRUE(state.is_ok()) << state.status().to_string();
+  EXPECT_EQ(state->sequence, 1u);
+  auto reference = restore_chain_serial(*storage_, 0, 1);
+  ASSERT_TRUE(reference.is_ok());
+  expect_states_identical(*reference, *state);
+}
+
+TEST_F(RestoreChainTest, CorruptTailStrictVsTruncated) {
+  build_chain(4);
+  corrupt_payload(checkpoint_key(0, 4));
+
+  auto strict = restore_chain(*storage_, 0);
+  ASSERT_FALSE(strict.is_ok());
+  EXPECT_EQ(strict.status().code(), ErrorCode::kCorruption);
+
+  RestoreOptions opts;
+  opts.allow_truncated_tail = true;
+  auto state = restore_chain(*storage_, 0, opts);
+  ASSERT_TRUE(state.is_ok()) << state.status().to_string();
+  EXPECT_EQ(state->sequence, 3u);
+  // The serial oracle still parses every object in the store, so give
+  // it a clean one: drop the corrupt tail before comparing.
+  ASSERT_TRUE(storage_->remove(checkpoint_key(0, 4)).is_ok());
+  auto reference = restore_chain_serial(*storage_, 0, 3);
+  ASSERT_TRUE(reference.is_ok());
+  expect_states_identical(*reference, *state);
+}
+
+TEST_F(RestoreChainTest, CorruptMidChainTruncatesToPrefix) {
+  build_chain(5);
+  corrupt_payload(checkpoint_key(0, 2));
+
+  auto strict = restore_chain(*storage_, 0);
+  ASSERT_FALSE(strict.is_ok());
+  EXPECT_EQ(strict.status().code(), ErrorCode::kCorruption);
+
+  RestoreOptions opts;
+  opts.allow_truncated_tail = true;
+  auto state = restore_chain(*storage_, 0, opts);
+  ASSERT_TRUE(state.is_ok()) << state.status().to_string();
+  EXPECT_EQ(state->sequence, 1u);  // everything after 2 is unusable too
+  // Clean store for the serial oracle (it parses everything).
+  for (std::uint64_t s = 2; s <= 5; ++s) {
+    ASSERT_TRUE(storage_->remove(checkpoint_key(0, s)).is_ok());
+  }
+  auto reference = restore_chain_serial(*storage_, 0, 1);
+  ASSERT_TRUE(reference.is_ok());
+  expect_states_identical(*reference, *state);
+}
+
+TEST_F(RestoreChainTest, ObliteratedTailObjectStillRecovers) {
+  build_chain(3);
+  corrupt_header(checkpoint_key(0, 3));
+  RestoreOptions opts;
+  opts.allow_truncated_tail = true;
+  auto state = restore_chain(*storage_, 0, opts);
+  ASSERT_TRUE(state.is_ok()) << state.status().to_string();
+  EXPECT_EQ(state->sequence, 2u);
+}
+
+TEST_F(RestoreChainTest, DecodesEachSurvivingPageExactlyOnce) {
+  build_chain(6);  // 8-page block, 6 incrementals x 2 pages
+  auto& reg = obs::registry();
+  auto& decoded = reg.counter("restore.pages_decoded");
+  auto& skipped = reg.counter("restore.pages_skipped");
+  const std::uint64_t d0 = decoded.value();
+  const std::uint64_t s0 = skipped.value();
+
+  auto state = restore_chain(*storage_, 0);
+  ASSERT_TRUE(state.is_ok());
+
+  // The final footprint is one 8-page block: exactly 8 page decodes no
+  // matter how often the chain rewrote them; every superseded write is
+  // skipped (CRC-checked but never decoded).
+  EXPECT_EQ(decoded.value() - d0, 8u);
+  EXPECT_EQ(skipped.value() - s0, 8u + 6u * 2u - 8u);
+}
+
+TEST_F(RestoreChainTest, SequentialChunkedBackendRestores) {
+  build_chain(4);
+  auto reference = restore_chain(*storage_, 0);
+  ASSERT_TRUE(reference.is_ok());
+
+  // A 37-byte-per-read, sequential-only view of the same store must
+  // produce identical bytes through the scanner and shard fallbacks.
+  storage::ChunkedBackend chunked(*storage_, 37);
+  for (int threads : {1, 4}) {
+    RestoreOptions opts;
+    opts.decode_threads = threads;
+    auto state = restore_chain(chunked, 0, opts);
+    ASSERT_TRUE(state.is_ok()) << state.status().to_string();
+    expect_states_identical(*reference, *state);
+  }
+}
+
+// --- Sequence ordering at the key zero-pad boundary -----------------
+
+/// Rewrite header sequence/parent and re-seal the trailer CRC.
+void patch_sequences(std::vector<std::byte>& data, std::uint64_t seq,
+                     std::uint64_t parent) {
+  FileHeader h;
+  std::memcpy(&h, data.data(), sizeof h);
+  h.sequence = seq;
+  h.parent_sequence = parent;
+  std::memcpy(data.data(), &h, sizeof h);
+  FileTrailer t;
+  std::memcpy(&t, data.data() + data.size() - sizeof t, sizeof t);
+  t.crc32 = crc32({data.data(), data.size() - sizeof t});
+  std::memcpy(data.data() + data.size() - sizeof t, &t, sizeof t);
+}
+
+TEST_F(RestoreChainTest, RestoresChainsPastTheOldPadBoundary) {
+  // Chains written by the old 12-digit-pad writer mis-sort
+  // lexicographically at sequence >= 10^12 ("1000000000000" sorts
+  // before "999999999999").  Rebuild this fixture's chain there and
+  // require numeric ordering to restore it.
+  const std::uint64_t kBase = 999999999999ull;  // 10^12 - 1
+  auto a = build_chain(2);
+  (void)a;
+  char buf[64];
+  for (std::uint64_t s = 0; s <= 2; ++s) {
+    auto data = read_object(checkpoint_key(0, s));
+    patch_sequences(data, kBase + s, s == 0 ? kBase : kBase + s - 1);
+    std::snprintf(buf, sizeof buf, "rank0/ckpt-%012llu",
+                  static_cast<unsigned long long>(kBase + s));
+    write_object(buf, data);
+    ASSERT_TRUE(storage_->remove(checkpoint_key(0, s)).is_ok());
+  }
+
+  auto planned = restore_chain(*storage_, 0);
+  ASSERT_TRUE(planned.is_ok()) << planned.status().to_string();
+  EXPECT_EQ(planned->sequence, kBase + 2);
+  auto serial = restore_chain_serial(*storage_, 0);
+  ASSERT_TRUE(serial.is_ok()) << serial.status().to_string();
+  expect_states_identical(*serial, *planned);
+
+  // And fsck agrees the store is healthy despite the mixed ordering.
+  auto report = inspect_chain(*storage_, 0);
+  ASSERT_TRUE(report.is_ok());
+  EXPECT_TRUE(report->healthy()) << report->problems.front();
+  EXPECT_EQ(report->recoverable_upto, kBase + 2);
+}
+
+TEST(CheckpointKeyTest, KeysSortLexicographicallyAcrossPadBoundary) {
+  // Regression: with the 12-digit pad these compared the wrong way.
+  EXPECT_LT(checkpoint_key(0, 999999999999ull),
+            checkpoint_key(0, 1000000000000ull));
+  EXPECT_LT(checkpoint_key(0, 0), checkpoint_key(0, UINT64_MAX));
+}
+
+// --- Repair ---------------------------------------------------------
+
+TEST_F(RestoreChainTest, RepairQuarantinesCorruptTail) {
+  build_chain(4);
+  corrupt_payload(checkpoint_key(0, 3));  // kills 3 and orphans 4
+
+  auto rep = repair_store(*storage_);
+  ASSERT_TRUE(rep.is_ok()) << rep.status().to_string();
+  EXPECT_TRUE(rep->clean());
+  ASSERT_EQ(rep->recovered_upto.count(0u), 1u);
+  EXPECT_EQ(rep->recovered_upto[0], 2u);
+  EXPECT_EQ(rep->dropped.size(), 2u);
+
+  // The bytes moved, not vanished.
+  for (const auto& d : rep->dropped) {
+    EXPECT_FALSE(storage_->exists(d.key));
+    EXPECT_TRUE(storage_->exists(d.quarantine_key));
+  }
+
+  // After repair: strict restore works and fsck is clean.
+  auto state = restore_chain(*storage_, 0);
+  ASSERT_TRUE(state.is_ok()) << state.status().to_string();
+  EXPECT_EQ(state->sequence, 2u);
+  auto report = inspect_store(*storage_);
+  ASSERT_TRUE(report.is_ok());
+  EXPECT_TRUE(report->healthy());
+
+  // Idempotent: a second pass drops nothing.
+  auto again = repair_store(*storage_);
+  ASSERT_TRUE(again.is_ok());
+  EXPECT_TRUE(again->dropped.empty());
+}
+
+TEST_F(RestoreChainTest, RepairQuarantinesUnplaceableOrphan) {
+  build_chain(2);
+  const std::byte junk[4] = {std::byte{'J'}, std::byte{'U'},
+                             std::byte{'N'}, std::byte{'K'}};
+  write_object("rank0/not-a-checkpoint", junk);
+
+  auto rep = repair_store(*storage_);
+  ASSERT_TRUE(rep.is_ok()) << rep.status().to_string();
+  ASSERT_EQ(rep->dropped.size(), 1u);
+  EXPECT_EQ(rep->dropped[0].key, "rank0/not-a-checkpoint");
+  EXPECT_FALSE(storage_->exists("rank0/not-a-checkpoint"));
+  EXPECT_EQ(rep->recovered_upto[0], 2u);
+}
+
+TEST_F(RestoreChainTest, RepairLeavesHealthyStoreAlone) {
+  build_chain(3);
+  auto rep = repair_store(*storage_);
+  ASSERT_TRUE(rep.is_ok());
+  EXPECT_TRUE(rep->dropped.empty());
+  EXPECT_TRUE(rep->clean());
+  EXPECT_EQ(rep->recovered_upto[0], 3u);
+}
+
+}  // namespace
+}  // namespace ickpt::checkpoint

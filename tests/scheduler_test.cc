@@ -92,6 +92,34 @@ TEST(SchedulerTest, WarmupSuppressesEarlyFires) {
   EXPECT_EQ(fires, 0);
 }
 
+// Regression: before the first fire, the interval was measured from
+// t=0, so a scheduler attached mid-trace (first sample at t=1000)
+// instantly exceeded max_interval and forced a checkpoint into the
+// middle of a burst.
+TEST(SchedulerTest, MidTraceAttachmentDoesNotForceImmediateFire) {
+  BurstAwareScheduler::Options opts;
+  opts.max_interval = 10.0;
+  BurstAwareScheduler sched(opts);
+
+  // Constant high IWS starting at t=1000: the first forced fire must
+  // come ~max_interval after attachment, not on the first eligible
+  // slice.
+  const std::uint64_t kStart = 1000;
+  int fires = 0;
+  double first_fire = 0;
+  for (int i = 0; i < 50; ++i) {
+    auto s = slice(kStart + static_cast<std::uint64_t>(i), 1.0, 100);
+    if (sched.observe(s)) {
+      if (fires == 0) first_fire = s.t_end;
+      ++fires;
+    }
+  }
+  // Attachment anchor is the first sample's t_end (1001).
+  EXPECT_GE(first_fire, 1001.0 + opts.max_interval);
+  EXPECT_GE(fires, 3);  // still fires periodically afterwards
+  EXPECT_EQ(sched.forced(), sched.decisions());
+}
+
 TEST(SchedulerTest, EwmaTracksLevel) {
   BurstAwareScheduler sched;
   for (int i = 0; i < 50; ++i) {

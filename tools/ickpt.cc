@@ -20,8 +20,11 @@
 //       histogram record, enabled and idle scoped timer) and print the
 //       resulting registry snapshot.
 //
-//   ickpt fsck DIR
+//   ickpt fsck DIR [--repair]
 //       Verify every checkpoint chain in a file-backend directory.
+//       With --repair, quarantine corrupt tails and orphans (moved
+//       under DIR/quarantine/, never deleted) so every rank keeps its
+//       newest restorable prefix, then re-verify.
 //
 //   ickpt replay TRACE.wt
 //       Replay a saved write trace through the explicit engine and
@@ -63,7 +66,7 @@ int usage() {
                "                   [--ckpt-dir DIR] [--encode-threads N]\n"
                "                   [--async] [--no-compress] [--stats]\n"
                "       ickpt stats [--iters N] [--json]\n"
-               "       ickpt fsck DIR\n"
+               "       ickpt fsck DIR [--repair]\n"
                "       ickpt replay TRACE.wt\n"
                "('ickpt <command> --help' lists every flag.)\n");
   return 2;
@@ -327,13 +330,51 @@ int cmd_stats(int argc, char** argv) {
   return 0;
 }
 
-int cmd_fsck(const char* dir) {
+int cmd_fsck(int argc, char** argv) {
+  if (argc < 3 || argv[2][0] == '-') return usage();
+  const char* dir = argv[2];
+
+  bool repair = false;
+  bool help = false;
+  FlagSet flags("ickpt fsck DIR");
+  flags.add_bool("repair", &repair,
+                 "quarantine corrupt tails/orphans so every rank keeps "
+                 "its newest restorable prefix");
+  flags.add_bool("help", &help, "show this help");
+  auto parsed = flags.parse(argc, argv, 3);
+  if (!parsed.is_ok()) return flag_error(parsed, flags);
+  if (help) {
+    std::printf("%s", flags.help().c_str());
+    return 0;
+  }
+
   auto backend = storage::make_file_backend(dir);
   if (!backend.is_ok()) {
     std::fprintf(stderr, "fsck: %s\n",
                  backend.status().to_string().c_str());
     return 1;
   }
+
+  if (repair) {
+    auto rep = checkpoint::repair_store(**backend);
+    if (!rep.is_ok()) {
+      std::fprintf(stderr, "fsck --repair: %s\n",
+                   rep.status().to_string().c_str());
+      return 1;
+    }
+    for (const auto& d : rep->dropped) {
+      std::printf("quarantined %s -> %s (%s)\n", d.key.c_str(),
+                  d.quarantine_key.c_str(), d.reason.c_str());
+    }
+    for (const auto& [rank, upto] : rep->recovered_upto) {
+      std::printf("rank %u: repaired, recoverable to seq %llu\n", rank,
+                  static_cast<unsigned long long>(upto));
+    }
+    for (const auto& p : rep->problems) {
+      std::printf("! %s\n", p.c_str());
+    }
+  }
+
   auto report = checkpoint::inspect_store(**backend);
   if (!report.is_ok()) {
     std::fprintf(stderr, "fsck: %s\n", report.status().to_string().c_str());
@@ -396,7 +437,7 @@ int main(int argc, char** argv) {
   if (cmd == "apps") return cmd_apps(argc, argv);
   if (cmd == "study") return cmd_study(argc, argv);
   if (cmd == "stats") return cmd_stats(argc, argv);
-  if (cmd == "fsck" && argc >= 3) return cmd_fsck(argv[2]);
+  if (cmd == "fsck") return cmd_fsck(argc, argv);
   if (cmd == "replay" && argc >= 3) return cmd_replay(argv[2]);
   return usage();
 }
