@@ -110,12 +110,20 @@ int main(int argc, char** argv) {
   table.set_header({"Threads", "Compress", "Mode", "Seconds", "MB/s",
                     "Speedup vs 1T"});
 
+  BenchJson bench_json("encode", args);
+  const std::uint64_t arm_bytes =
+      block->mem.size() * static_cast<std::uint64_t>(reps);
   for (bool compress : {true, false}) {
     for (bool async : {false, true}) {
       double base_rate = 0;
       for (int threads : thread_sweep) {
-        const double secs = time_config(space, threads, compress, async,
-                                        reps);
+        const std::string arm_name =
+            "t" + std::to_string(threads) +
+            (compress ? "_compress" : "_raw") + (async ? "_async" : "_sync");
+        double secs = 0;
+        bench_json.run_arm(arm_name, arm_bytes, [&] {
+          secs = time_config(space, threads, compress, async, reps);
+        });
         const double rate = set_mb * reps / secs;
         if (threads == 1) base_rate = rate;
         table.add_row({TextTable::num(threads, 0),
@@ -127,6 +135,7 @@ int main(int argc, char** argv) {
     }
   }
   finish(table, "ablation_parallel_encode.csv");
+  bench_json.write(args);
   std::cout << "sharded encode + CRC combine lifts the single-core "
                "ceiling on checkpoint intrusiveness; async overlaps "
                "the device\n";

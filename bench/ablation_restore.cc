@@ -151,6 +151,9 @@ int main(int argc, char** argv) {
   table.set_header({"Chain", "Variant", "Seconds", "MB/s", "Decoded",
                     "Skipped", "Speedup vs serial"});
 
+  BenchJson bench_json("restore", args);
+  const std::uint64_t arm_bytes =
+      static_cast<std::uint64_t>(mb) * kMB * static_cast<std::uint64_t>(reps);
   Rng rng(2026);
   for (int incrementals : chain_sweep) {
     auto storage = storage::make_memory_backend();
@@ -159,13 +162,16 @@ int main(int argc, char** argv) {
 
     // Serial reference first: its output is the identity oracle.
     checkpoint::RestoredState reference;
-    const Timed serial = time_restore(
-        [&] {
-          auto s = checkpoint::restore_chain_serial(*storage, 0);
-          if (!s.is_ok()) std::exit(1);
-          reference = std::move(s.value());
-        },
-        reps);
+    Timed serial;
+    bench_json.run_arm("chain" + chain_label + "_serial", arm_bytes, [&] {
+      serial = time_restore(
+          [&] {
+            auto s = checkpoint::restore_chain_serial(*storage, 0);
+            if (!s.is_ok()) std::exit(1);
+            reference = std::move(s.value());
+          },
+          reps);
+    });
 
     struct Variant {
       const char* name;
@@ -181,18 +187,23 @@ int main(int argc, char** argv) {
       } else {
         checkpoint::RestoreOptions opts;
         opts.decode_threads = v.threads;
-        t = time_restore(
-            [&] {
-              auto s = checkpoint::restore_chain(*storage, 0, opts);
-              if (!s.is_ok()) std::exit(1);
-              if (!states_identical(reference, *s)) {
-                std::cerr << "BYTE IDENTITY FAILED: " << v.name
-                          << " differs from serial restore (chain "
-                          << chain_label << ")\n";
-                std::exit(1);
-              }
-            },
-            reps);
+        const std::string arm_name =
+            "chain" + chain_label +
+            (v.threads == 1 ? "_planned_1t" : "_planned_pool");
+        bench_json.run_arm(arm_name, arm_bytes, [&] {
+          t = time_restore(
+              [&] {
+                auto s = checkpoint::restore_chain(*storage, 0, opts);
+                if (!s.is_ok()) std::exit(1);
+                if (!states_identical(reference, *s)) {
+                  std::cerr << "BYTE IDENTITY FAILED: " << v.name
+                            << " differs from serial restore (chain "
+                            << chain_label << ")\n";
+                  std::exit(1);
+                }
+              },
+              reps);
+        });
       }
       const double set_mb = static_cast<double>(mb);
       table.add_row(
@@ -205,6 +216,7 @@ int main(int argc, char** argv) {
     }
   }
   finish(table, "ablation_restore.csv");
+  bench_json.write(args);
   std::cout << "the plan decodes each surviving page once (Skipped = "
                "superseded writes the serial path decoded for nothing); "
                "shards parallelize the remaining decode work\n";

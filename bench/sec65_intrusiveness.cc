@@ -148,5 +148,62 @@ int main(int argc, char** argv) {
   finish(obs_table, "sec65_obs_overhead.csv");
   std::cout << "target: < 1% (relaxed atomics + one monotonic clock read "
                "per fault)\n";
+
+  // And of the span-tracing layer: the fault handler emits one ring
+  // event per fault when tracing is on, and pays one relaxed load when
+  // it is compiled in but off.  Either cost times the fault count is
+  // ~1 ms on a ~100 ms run — well below this host's multi-ms scheduler
+  // jitter — so, as for the paper projection above, the per-event cost
+  // is measured directly (a tight loop over the emit path, cycling the
+  // full ring so cache behaviour matches steady state) and projected
+  // onto the fault count of a tracked run.  Wall times of one
+  // interleaved pair of runs are reported for context only.
+  obs::start_tracing();
+  const double trace_on_wall =
+      run_once(app, scale, run_vs, true, 1.0).wall_seconds;
+  obs::stop_tracing();
+  const RunResult off_run = run_once(app, scale, run_vs, true, 1.0);
+  const double trace_off_wall = off_run.wall_seconds;
+  const std::uint64_t trace_faults = off_run.faults;
+
+  const std::uint16_t t_probe =
+      obs::trace_name("bench.sec65.probe", obs::TraceCat::kBench);
+  const int probe_n = 1'000'000;
+  auto probe = [&] {
+    const auto t0 = std::chrono::steady_clock::now();
+    for (int i = 0; i < probe_n; ++i) {
+      obs::trace_instant(t_probe, static_cast<std::uint64_t>(i));
+    }
+    return std::chrono::duration<double, std::nano>(
+               std::chrono::steady_clock::now() - t0)
+               .count() /
+           probe_n;
+  };
+  const double dormant_ns = probe();
+  obs::start_tracing();
+  const double emit_ns = probe();
+  obs::stop_tracing();
+
+  auto projected_pct = [&](double per_event_ns) {
+    return trace_off_wall > 0
+               ? per_event_ns * static_cast<double>(trace_faults) /
+                     (trace_off_wall * 1e9) * 100.0
+               : 0;
+  };
+  TextTable trace_table(
+      "Span-tracing overhead (tracked run, 1 s timeslice, " +
+      TextTable::num(static_cast<double>(trace_faults), 0) +
+      " faults, projected from measured per-event cost)");
+  trace_table.set_header({"Tracing", "ns/event", "Wall (ms)", "Overhead %"});
+  trace_table.add_row({"off (compiled in)", TextTable::num(dormant_ns, 1),
+                       TextTable::num(trace_off_wall * 1000, 2),
+                       TextTable::num(projected_pct(dormant_ns), 3)});
+  trace_table.add_row({"on (lock-free ring emit)",
+                       TextTable::num(emit_ns, 1),
+                       TextTable::num(trace_on_wall * 1000, 2),
+                       TextTable::num(projected_pct(emit_ns), 2)});
+  finish(trace_table, "sec65_trace_overhead.csv");
+  std::cout << "target: < 1% with tracing on, ~0% compiled in but off "
+               "(one relaxed load per dormant site)\n";
   return 0;
 }

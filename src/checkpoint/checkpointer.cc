@@ -12,6 +12,7 @@
 #include "common/crc32.h"
 #include "common/page.h"
 #include "obs/timer.h"
+#include "obs/trace.h"
 
 namespace ickpt::checkpoint {
 
@@ -34,6 +35,10 @@ struct CkptMetrics {
   obs::Histogram& write_ns;
   obs::Histogram& encode_stall_ns;
   obs::Histogram& flush_ns;
+  std::uint16_t t_plan;         ///< "ckpt.plan" span
+  std::uint16_t t_encode_shard; ///< "ckpt.encode_shard" span
+  std::uint16_t t_write;        ///< "ckpt.write" span
+  std::uint16_t t_flush;        ///< "ckpt.flush" span
 
   static CkptMetrics& get() {
     auto& r = obs::registry();
@@ -50,7 +55,12 @@ struct CkptMetrics {
                          r.histogram("ckpt.crc_ns"),
                          r.histogram("ckpt.write_ns"),
                          r.histogram("ckpt.encode_stall_ns"),
-                         r.histogram("ckpt.flush_ns")};
+                         r.histogram("ckpt.flush_ns"),
+                         obs::trace_name("ckpt.plan", obs::TraceCat::kCkpt),
+                         obs::trace_name("ckpt.encode_shard",
+                                         obs::TraceCat::kCkpt),
+                         obs::trace_name("ckpt.write", obs::TraceCat::kCkpt),
+                         obs::trace_name("ckpt.flush", obs::TraceCat::kCkpt)};
     return m;
   }
 };
@@ -191,6 +201,7 @@ void append(std::vector<std::byte>& buf, const void* data, std::size_t len) {
 void encode_shard(EncodeShard& shard, std::size_t psize, bool compress) {
   auto& metrics = CkptMetrics::get();
   obs::ScopedTimer encode_timer(metrics.encode_ns);
+  obs::TraceSpan span(metrics.t_encode_shard, shard.page_count);
   shard.buf.reserve(shard.page_count * (sizeof(PageRecord) + psize));
   std::vector<std::byte> payload;
   for (std::uint32_t p = 0; p < shard.page_count; ++p) {
@@ -274,6 +285,7 @@ Result<CheckpointMeta> Checkpointer::write_object(
     std::uint64_t seq, const std::string& key) {
   auto& metrics = CkptMetrics::get();
   obs::ScopedTimer plan_timer(metrics.plan_ns);
+  obs::TraceSpan plan_span(metrics.t_plan, seq);
   const auto blocks = space_.blocks();
   const std::size_t psize = page_size();
 
@@ -333,7 +345,9 @@ Result<CheckpointMeta> Checkpointer::write_object(
   }
 
   plan_timer.stop();
+  plan_span.end(total_pages, shards.size());
   obs::ScopedTimer write_timer(metrics.write_ns);
+  obs::TraceSpan write_span(metrics.t_write, seq, total_pages);
 
   // Workers encode shards out of order; the stitcher consumes them in
   // file order as each completes, so writing overlaps encoding.  The
@@ -464,7 +478,9 @@ Result<CheckpointMeta> Checkpointer::write_object(
 
 Status Checkpointer::flush() {
   if (async_ == nullptr) return Status::ok();
-  obs::ScopedTimer timer(CkptMetrics::get().flush_ns);
+  auto& metrics = CkptMetrics::get();
+  obs::ScopedTimer timer(metrics.flush_ns);
+  obs::TraceSpan span(metrics.t_flush);
   return async_->flush();
 }
 

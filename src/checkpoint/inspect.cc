@@ -6,10 +6,23 @@
 #include "checkpoint/format.h"
 #include "checkpoint/restore.h"
 #include "common/crc32.h"
+#include "obs/trace.h"
 
 namespace ickpt::checkpoint {
 
 namespace {
+
+struct FsckTrace {
+  std::uint16_t t_inspect;  ///< "fsck.inspect" span (arg0 = rank)
+  std::uint16_t t_repair;   ///< "fsck.repair" span
+
+  static FsckTrace& get() {
+    static FsckTrace t{
+        obs::trace_name("fsck.inspect", obs::TraceCat::kFsck),
+        obs::trace_name("fsck.repair", obs::TraceCat::kFsck)};
+    return t;
+  }
+};
 
 /// Lightweight structural parse of one object: header fields only,
 /// with full-file CRC validation via read_checkpoint_file.
@@ -114,6 +127,7 @@ bool StoreReport::healthy() const noexcept {
 
 Result<ChainReport> inspect_chain(storage::StorageBackend& storage,
                                   std::uint32_t rank) {
+  obs::TraceSpan span(FsckTrace::get().t_inspect, rank);
   auto keys = storage.list();
   if (!keys.is_ok()) return keys.status();
 
@@ -232,6 +246,7 @@ Result<StoreReport> inspect_store(storage::StorageBackend& storage) {
 }
 
 Result<RepairReport> repair_store(storage::StorageBackend& storage) {
+  obs::TraceSpan span(FsckTrace::get().t_repair);
   auto keys = storage.list();
   if (!keys.is_ok()) return keys.status();
 

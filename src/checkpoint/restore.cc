@@ -12,8 +12,10 @@
 #include "common/crc32.h"
 #include "common/page.h"
 #include "common/thread_pool.h"
+#include "obs/flightrec.h"
 #include "obs/metrics.h"
 #include "obs/timer.h"
+#include "obs/trace.h"
 
 namespace ickpt::checkpoint {
 
@@ -30,6 +32,10 @@ struct RestoreMetrics {
   obs::Histogram& plan_ns;
   obs::Histogram& decode_ns;
   obs::Histogram& stitch_ns;
+  std::uint16_t t_plan;          ///< "restore.plan" span
+  std::uint16_t t_decode_shard;  ///< "restore.decode_shard" span
+  std::uint16_t t_stitch;        ///< "restore.stitch" span
+  std::uint16_t t_fail;          ///< "restore.fail" instant
 
   static RestoreMetrics& get() {
     auto& r = obs::registry();
@@ -41,7 +47,15 @@ struct RestoreMetrics {
                             r.counter("restore.truncated_tails"),
                             r.histogram("restore.plan_ns"),
                             r.histogram("restore.decode_ns"),
-                            r.histogram("restore.stitch_ns")};
+                            r.histogram("restore.stitch_ns"),
+                            obs::trace_name("restore.plan",
+                                            obs::TraceCat::kRestore),
+                            obs::trace_name("restore.decode_shard",
+                                            obs::TraceCat::kRestore),
+                            obs::trace_name("restore.stitch",
+                                            obs::TraceCat::kRestore),
+                            obs::trace_name("restore.fail",
+                                            obs::TraceCat::kRestore)};
     return m;
   }
 };
@@ -504,6 +518,8 @@ void run_shard(storage::StorageBackend& storage,
                const std::vector<ObjectPlan>& objs,
                const std::map<std::uint32_t, std::byte*>& out_base,
                DecodeShard& s) {
+  obs::TraceSpan span(RestoreMetrics::get().t_decode_shard, s.page_count,
+                      s.length);
   const ObjectPlan& obj = objs[s.obj_idx];
   auto reader = storage.open(obj.key);
   if (!reader.is_ok()) {
@@ -564,6 +580,7 @@ Result<RestoredState> attempt(storage::StorageBackend& storage,
                               bool* have_failed_seq) {
   auto& metrics = RestoreMetrics::get();
   obs::ScopedTimer plan_timer(metrics.plan_ns);
+  obs::TraceSpan plan_span(metrics.t_plan, upto);
 
   auto keys = storage.list();
   if (!keys.is_ok()) return keys.status();
@@ -782,6 +799,7 @@ Result<RestoredState> attempt(storage::StorageBackend& storage,
   }
 
   plan_timer.stop();
+  plan_span.end(total_pages, shards.size());
   obs::ScopedTimer decode_timer(metrics.decode_ns);
 
   if (threads > 1 && shards.size() > 1) {
@@ -798,6 +816,7 @@ Result<RestoredState> attempt(storage::StorageBackend& storage,
 
   decode_timer.stop();
   obs::ScopedTimer stitch_timer(metrics.stitch_ns);
+  obs::TraceSpan stitch_span(metrics.t_stitch);
 
   // ---- Stitch: surface shard failures (oldest object first, so a
   // tolerant retry truncates as little as possible), then fold segment
@@ -847,6 +866,16 @@ Result<RestoredState> attempt(storage::StorageBackend& storage,
   return state;
 }
 
+/// Final-failure bookkeeping for restore_chain: an instant trace event
+/// carrying the failing sequence plus a flight-recorder dump (when one
+/// is configured) so the failure is diagnosable post-mortem.
+Status note_restore_failure(const Status& st, std::uint64_t failed_seq) {
+  obs::trace_instant(RestoreMetrics::get().t_fail, failed_seq,
+                     static_cast<std::uint64_t>(st.code()));
+  obs::flightrec::dump("restore_chain failed: " + st.to_string());
+  return st;
+}
+
 }  // namespace
 
 Result<RestoredState> read_checkpoint_file(storage::StorageBackend& storage,
@@ -870,10 +899,11 @@ Result<RestoredState> restore_chain(storage::StorageBackend& storage,
     auto state = attempt(storage, rank, upto, threads,
                          options.allow_truncated_tail, &failed_seq,
                          &have_failed_seq);
-    if (state.is_ok() || !options.allow_truncated_tail) return state;
-    if (state.status().code() != ErrorCode::kCorruption ||
+    if (state.is_ok()) return state;
+    if (!options.allow_truncated_tail ||
+        state.status().code() != ErrorCode::kCorruption ||
         !have_failed_seq || failed_seq == 0) {
-      return state;
+      return note_restore_failure(state.status(), failed_seq);
     }
     // A corrupt object at failed_seq: recover the prefix below it.
     RestoreMetrics::get().truncated_tails.inc();

@@ -9,7 +9,9 @@
 #include "apps/scripted_kernel.h"
 #include "checkpoint/checkpointer.h"
 #include "minimpi/comm.h"
+#include "obs/flightrec.h"
 #include "obs/metrics.h"
+#include "obs/trace.h"
 #include "sim/sampler.h"
 #include "sim/virtual_clock.h"
 #include "storage/backend.h"
@@ -130,6 +132,9 @@ RankOutcome run_rank(const StudyConfig& config, double run_vs,
                           const memtrack::DirtySnapshot& snap) {
       if (prev) prev(s, snap);
       if (!ckpt_status.is_ok()) return;
+      static const std::uint16_t t_slice =
+          obs::trace_name("study.slice", obs::TraceCat::kStudy);
+      obs::TraceSpan slice_span(t_slice, s.index);
       const auto t0 = std::chrono::steady_clock::now();
       auto meta = ckpt_ptr->checkpoint_incremental(snap, s.t_end);
       out.ckpt_encode_seconds +=
@@ -183,6 +188,11 @@ Result<StudyResult> run_study(const StudyConfig& config) {
   const double run_vs = config.run_vs > 0
                             ? config.run_vs
                             : auto_run_length(*period, config.timeslice);
+  // Studies that write a real chain arm the flight recorder: a crash
+  // or restore failure then leaves a post-mortem next to the objects.
+  if (!config.checkpoint_dir.empty()) {
+    obs::flightrec::configure(config.checkpoint_dir);
+  }
   const int tracked =
       config.tracked_ranks < 0 ? config.nprocs
                                : std::min(config.tracked_ranks, config.nprocs);

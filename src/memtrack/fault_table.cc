@@ -6,7 +6,9 @@
 #include <cstdlib>
 
 #include "common/page.h"
+#include "obs/flightrec.h"
 #include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace ickpt::memtrack::detail {
 
@@ -20,6 +22,7 @@ bool g_have_prev = false;
 // (see the signal-safety contract in obs/metrics.h).
 obs::Counter* g_fault_counter = nullptr;
 obs::Histogram* g_fault_hist = nullptr;
+std::uint16_t g_fault_trace = 0;  ///< interned "memtrack.fault"
 
 // Latency is sampled 1-in-64: at tight timeslices a run takes tens of
 // thousands of faults, and two clock reads on every one of them is a
@@ -45,6 +48,9 @@ void segv_handler(int sig, siginfo_t* info, void* uctx) {
     g_prev_action.sa_handler(sig);
     return;
   }
+  // Genuine crash: give the flight recorder its one shot before
+  // re-raising with default disposition (AS-safe dump path).
+  obs::flightrec::dump_from_signal("SIGSEGV");
   ::signal(SIGSEGV, SIG_DFL);
   ::raise(SIGSEGV);
 }
@@ -61,6 +67,7 @@ void FaultTable::ensure_handler_installed() {
   std::call_once(once, [] {
     g_fault_counter = &obs::registry().counter("memtrack.faults");
     g_fault_hist = &obs::registry().histogram("memtrack.fault_ns");
+    g_fault_trace = obs::trace_name("memtrack.fault", obs::TraceCat::kMemtrack);
     struct sigaction sa = {};
     sa.sa_sigaction = &segv_handler;
     sa.sa_flags = SA_SIGINFO | SA_NODEFER;
@@ -174,6 +181,9 @@ bool FaultTable::handle_fault(std::uintptr_t addr) noexcept {
                PROT_READ | PROT_WRITE);
     if (g_fault_counter != nullptr) g_fault_counter->inc();
     if (t0 != 0) g_fault_hist->record(obs::now_ns() - t0);
+    // Signal-context emit: relaxed/release stores only (obs/trace.h).
+    obs::trace_instant(g_fault_trace, static_cast<std::uint64_t>(page_addr),
+                       static_cast<std::uint64_t>(n));
     return true;
   }
   return false;

@@ -117,14 +117,20 @@ double Histogram::mean() const noexcept {
 double Histogram::approx_quantile(double q) const noexcept {
   const std::uint64_t n = count();
   if (n == 0) return 0.0;
-  q = std::clamp(q, 0.0, 1.0);
+  const double lo = static_cast<double>(min());
+  const double hi = static_cast<double>(max());
+  if (q <= 0.0) return lo;
+  if (q >= 1.0) return hi;
   const double target = q * static_cast<double>(n);
   double seen = 0;
   for (int i = 0; i < kBuckets; ++i) {
     seen += static_cast<double>(bucket(i));
-    if (seen >= target) return bucket_mid(i);
+    // Clamp the bucket midpoint to the observed range: a one-sample
+    // histogram answers with the sample, and the saturated top bucket
+    // ([2^62, inf)) cannot report past max().
+    if (seen >= target) return std::clamp(bucket_mid(i), lo, hi);
   }
-  return static_cast<double>(max());
+  return hi;
 }
 
 void Histogram::reset() noexcept {
@@ -151,51 +157,101 @@ Registry& Registry::instance() {
   return *r;
 }
 
+namespace {
+// Shared sinks for registrations past kMaxPerKind: recording still
+// works (no crash, no UB), the values just are not reported.
+Counter g_overflow_counter;
+Gauge g_overflow_gauge;
+Histogram g_overflow_histogram;
+}  // namespace
+
 Counter& Registry::counter(std::string_view name) {
   std::lock_guard<std::mutex> lock(mu_);
-  for (const auto& e : counters_) {
-    if (e->name == name) return e->metric;
+  const std::size_t n = n_counters_.load(std::memory_order_relaxed);
+  for (std::size_t i = 0; i < n; ++i) {
+    if (counters_[i]->name == name) return counters_[i]->metric;
   }
-  counters_.push_back(std::make_unique<Entry<Counter>>());
-  counters_.back()->name = std::string(name);
-  return counters_.back()->metric;
+  if (n >= kMaxPerKind) return g_overflow_counter;
+  auto* e = new Entry<Counter>();  // immortal
+  e->name = std::string(name);
+  counters_[n] = e;
+  n_counters_.store(n + 1, std::memory_order_release);
+  return e->metric;
 }
 
 Gauge& Registry::gauge(std::string_view name) {
   std::lock_guard<std::mutex> lock(mu_);
-  for (const auto& e : gauges_) {
-    if (e->name == name) return e->metric;
+  const std::size_t n = n_gauges_.load(std::memory_order_relaxed);
+  for (std::size_t i = 0; i < n; ++i) {
+    if (gauges_[i]->name == name) return gauges_[i]->metric;
   }
-  gauges_.push_back(std::make_unique<Entry<Gauge>>());
-  gauges_.back()->name = std::string(name);
-  return gauges_.back()->metric;
+  if (n >= kMaxPerKind) return g_overflow_gauge;
+  auto* e = new Entry<Gauge>();  // immortal
+  e->name = std::string(name);
+  gauges_[n] = e;
+  n_gauges_.store(n + 1, std::memory_order_release);
+  return e->metric;
 }
 
 Histogram& Registry::histogram(std::string_view name, Unit unit) {
   std::lock_guard<std::mutex> lock(mu_);
-  for (const auto& e : histograms_) {
-    if (e->name == name) return e->metric;
+  const std::size_t n = n_histograms_.load(std::memory_order_relaxed);
+  for (std::size_t i = 0; i < n; ++i) {
+    if (histograms_[i]->name == name) return histograms_[i]->metric;
   }
-  histograms_.push_back(std::make_unique<Entry<Histogram>>());
-  histograms_.back()->name = std::string(name);
-  histograms_.back()->unit = unit;
-  return histograms_.back()->metric;
+  if (n >= kMaxPerKind) return g_overflow_histogram;
+  auto* e = new Entry<Histogram>();  // immortal
+  e->name = std::string(name);
+  e->unit = unit;
+  histograms_[n] = e;
+  n_histograms_.store(n + 1, std::memory_order_release);
+  return e->metric;
+}
+
+const Counter* Registry::counter_at(std::size_t i,
+                                    std::string_view* name) const noexcept {
+  if (i >= counter_count()) return nullptr;
+  const Entry<Counter>* e = counters_[i];
+  if (name != nullptr) *name = e->name;
+  return &e->metric;
+}
+
+const Gauge* Registry::gauge_at(std::size_t i,
+                                std::string_view* name) const noexcept {
+  if (i >= gauge_count()) return nullptr;
+  const Entry<Gauge>* e = gauges_[i];
+  if (name != nullptr) *name = e->name;
+  return &e->metric;
+}
+
+const Histogram* Registry::histogram_at(std::size_t i, std::string_view* name,
+                                        Unit* unit) const noexcept {
+  if (i >= histogram_count()) return nullptr;
+  const Entry<Histogram>* e = histograms_[i];
+  if (name != nullptr) *name = e->name;
+  if (unit != nullptr) *unit = e->unit;
+  return &e->metric;
 }
 
 Snapshot Registry::snapshot() const {
   Snapshot snap;
   snap.enabled = enabled();
-  std::lock_guard<std::mutex> lock(mu_);
-  snap.counters.reserve(counters_.size());
-  for (const auto& e : counters_) {
+  const std::size_t nc = counter_count();
+  snap.counters.reserve(nc);
+  for (std::size_t i = 0; i < nc; ++i) {
+    const Entry<Counter>* e = counters_[i];
     snap.counters.push_back({e->name, e->metric.value()});
   }
-  snap.gauges.reserve(gauges_.size());
-  for (const auto& e : gauges_) {
+  const std::size_t ng = gauge_count();
+  snap.gauges.reserve(ng);
+  for (std::size_t i = 0; i < ng; ++i) {
+    const Entry<Gauge>* e = gauges_[i];
     snap.gauges.push_back({e->name, e->metric.value(), e->metric.max()});
   }
-  snap.histograms.reserve(histograms_.size());
-  for (const auto& e : histograms_) {
+  const std::size_t nh = histogram_count();
+  snap.histograms.reserve(nh);
+  for (std::size_t i = 0; i < nh; ++i) {
+    const Entry<Histogram>* e = histograms_[i];
     const Histogram& h = e->metric;
     Snapshot::HistogramValue hv;
     hv.name = e->name;
@@ -208,9 +264,9 @@ Snapshot Registry::snapshot() const {
     hv.p50 = h.approx_quantile(0.5);
     hv.p90 = h.approx_quantile(0.9);
     hv.p99 = h.approx_quantile(0.99);
-    for (int i = 0; i < Histogram::kBuckets; ++i) {
-      std::uint64_t c = h.bucket(i);
-      if (c != 0) hv.buckets.emplace_back(i, c);
+    for (int i2 = 0; i2 < Histogram::kBuckets; ++i2) {
+      std::uint64_t c = h.bucket(i2);
+      if (c != 0) hv.buckets.emplace_back(i2, c);
     }
     snap.histograms.push_back(std::move(hv));
   }
@@ -221,11 +277,13 @@ Snapshot Registry::snapshot() const {
   return snap;
 }
 
-void Registry::reset_all() {
-  std::lock_guard<std::mutex> lock(mu_);
-  for (const auto& e : counters_) e->metric.reset();
-  for (const auto& e : gauges_) e->metric.reset();
-  for (const auto& e : histograms_) e->metric.reset();
+void Registry::reset_all() noexcept {
+  const std::size_t nc = counter_count();
+  for (std::size_t i = 0; i < nc; ++i) counters_[i]->metric.reset();
+  const std::size_t ng = gauge_count();
+  for (std::size_t i = 0; i < ng; ++i) gauges_[i]->metric.reset();
+  const std::size_t nh = histogram_count();
+  for (std::size_t i = 0; i < nh; ++i) histograms_[i]->metric.reset();
 }
 
 std::string Snapshot::to_json() const {

@@ -19,8 +19,8 @@
 #pragma once
 
 #include <atomic>
+#include <bit>
 #include <cstdint>
-#include <memory>
 #include <mutex>
 #include <string>
 #include <string_view>
@@ -105,13 +105,25 @@ class Histogram {
     }
   }
 
+  /// Bucket of value v: its bit width, so bucket 0 holds only 0 and an
+  /// exact power of two 2^k deterministically starts bucket k+1 (the
+  /// bucket covering [2^k, 2^(k+1))).  Bucket 63 saturates: it absorbs
+  /// everything from 2^62 up.
   static int bucket_index(std::uint64_t v) noexcept {
-    int w = 0;
-    while (v != 0) {
-      v >>= 1;
-      ++w;
-    }
+    const int w = static_cast<int>(std::bit_width(v));
     return w < kBuckets ? w : kBuckets - 1;
+  }
+
+  /// Smallest value bucket i can hold.
+  static std::uint64_t bucket_lo(int i) noexcept {
+    return i <= 0 ? 0 : 1ull << (i - 1);
+  }
+
+  /// Largest value bucket i can hold (inclusive; bucket 63 saturates).
+  static std::uint64_t bucket_hi(int i) noexcept {
+    if (i <= 0) return 0;
+    if (i >= kBuckets - 1) return ~0ull;
+    return (1ull << i) - 1;
   }
 
   std::uint64_t count() const noexcept {
@@ -129,7 +141,11 @@ class Histogram {
   }
   double mean() const noexcept;
 
-  /// Bucket-midpoint quantile estimate, q in [0,1].
+  /// Bucket-midpoint quantile estimate, clamped to the observed
+  /// [min(), max()] range so a single-sample histogram answers every
+  /// quantile with that sample and the saturated top bucket cannot
+  /// overshoot max().  q <= 0 gives min(), q >= 1 gives max(), an
+  /// empty histogram gives 0 for every q.
   double approx_quantile(double q) const noexcept;
 
   void reset() noexcept;
@@ -193,8 +209,19 @@ struct Snapshot {
 /// Process-wide metric registry.  Lookup is by dotted name
 /// ("ckpt.encode_ns"); the first lookup creates the metric, later
 /// lookups return the same object.
+///
+/// Storage is a fixed-capacity pointer array per metric kind with an
+/// atomically published count, so *reads* — snapshot(), the *_count()
+/// / *_at() accessors — never lock and never allocate beyond snapshot
+/// copies.  The *_at() accessors are async-signal-safe, which is what
+/// lets the crash flight recorder (obs/flightrec.h) dump metric values
+/// from a fatal-signal handler.  Registration stays mutex-guarded.
 class Registry {
  public:
+  /// Fixed capacity per metric kind.  Registration past this returns a
+  /// shared overflow sink that is never reported in snapshots.
+  static constexpr std::size_t kMaxPerKind = 1024;
+
   static Registry& instance();
 
   Counter& counter(std::string_view name);
@@ -205,7 +232,28 @@ class Registry {
   std::string to_json() const { return snapshot().to_json(); }
 
   /// Zero every metric (names stay registered; handles stay valid).
-  void reset_all();
+  void reset_all() noexcept;
+
+  // Lock-free, allocation-free, async-signal-safe reads over the
+  // published prefix.  Indices < *_count() stay valid forever; *_at()
+  // returns nullptr past the end.  `name` (and `unit`) receive views
+  // into immortal registry storage.
+  std::size_t counter_count() const noexcept {
+    return n_counters_.load(std::memory_order_acquire);
+  }
+  std::size_t gauge_count() const noexcept {
+    return n_gauges_.load(std::memory_order_acquire);
+  }
+  std::size_t histogram_count() const noexcept {
+    return n_histograms_.load(std::memory_order_acquire);
+  }
+  const Counter* counter_at(std::size_t i,
+                            std::string_view* name = nullptr) const noexcept;
+  const Gauge* gauge_at(std::size_t i,
+                        std::string_view* name = nullptr) const noexcept;
+  const Histogram* histogram_at(std::size_t i,
+                                std::string_view* name = nullptr,
+                                Unit* unit = nullptr) const noexcept;
 
  private:
   Registry() = default;
@@ -217,12 +265,16 @@ class Registry {
     T metric;
   };
 
-  mutable std::mutex mu_;
+  std::mutex mu_;  ///< guards registration only, never reads
   // Entries are heap-allocated once and never freed while the process
-  // runs, so metric addresses are stable across registry growth.
-  std::vector<std::unique_ptr<Entry<Counter>>> counters_;
-  std::vector<std::unique_ptr<Entry<Gauge>>> gauges_;
-  std::vector<std::unique_ptr<Entry<Histogram>>> histograms_;
+  // runs, so metric addresses are stable; slot i is written before the
+  // count advances past i (release/acquire pairing).
+  Entry<Counter>* counters_[kMaxPerKind] = {};
+  Entry<Gauge>* gauges_[kMaxPerKind] = {};
+  Entry<Histogram>* histograms_[kMaxPerKind] = {};
+  std::atomic<std::size_t> n_counters_{0};
+  std::atomic<std::size_t> n_gauges_{0};
+  std::atomic<std::size_t> n_histograms_{0};
 };
 
 /// Shorthand for Registry::instance().

@@ -1,6 +1,7 @@
 #include "storage/async_writer.h"
 
 #include "obs/timer.h"
+#include "obs/trace.h"
 
 namespace ickpt::storage {
 
@@ -13,13 +14,17 @@ struct AsyncMetrics {
   obs::Counter& stalls;
   obs::Histogram& stall_ns;
   obs::Histogram& flush_ns;
+  std::uint16_t t_write;  ///< "storage.async_write" span (worker thread)
+  std::uint16_t t_flush;  ///< "storage.async_flush" span
 
   static AsyncMetrics& get() {
     static AsyncMetrics m{
         obs::registry().gauge("storage.async.queue_bytes"),
         obs::registry().counter("storage.async.stalls"),
         obs::registry().histogram("storage.async.stall_ns"),
-        obs::registry().histogram("storage.async.flush_ns")};
+        obs::registry().histogram("storage.async.flush_ns"),
+        obs::trace_name("storage.async_write", obs::TraceCat::kStorage),
+        obs::trace_name("storage.async_flush", obs::TraceCat::kStorage)};
     return m;
   }
 };
@@ -67,7 +72,9 @@ Status AsyncWriter::submit(std::string key, std::vector<std::byte> data) {
 }
 
 Status AsyncWriter::flush() {
-  obs::ScopedTimer timer(AsyncMetrics::get().flush_ns);
+  auto& metrics = AsyncMetrics::get();
+  obs::ScopedTimer timer(metrics.flush_ns);
+  obs::TraceSpan span(metrics.t_flush);
   std::unique_lock<std::mutex> lock(mu_);
   cv_producer_.wait(lock, [&] {
     return (queue_.empty() && idle_) || !first_error_.is_ok();
@@ -104,12 +111,15 @@ void AsyncWriter::run() {
     lock.unlock();
 
     Status st;
-    auto writer = backend_.create(item.key);
-    if (!writer.is_ok()) {
-      st = writer.status();
-    } else {
-      st = (*writer)->write(item.data);
-      if (st.is_ok()) st = (*writer)->close();
+    {
+      obs::TraceSpan span(AsyncMetrics::get().t_write, item.data.size());
+      auto writer = backend_.create(item.key);
+      if (!writer.is_ok()) {
+        st = writer.status();
+      } else {
+        st = (*writer)->write(item.data);
+        if (st.is_ok()) st = (*writer)->close();
+      }
     }
 
     lock.lock();

@@ -1,0 +1,166 @@
+// Minimal JSON value + recursive-descent parser for asserting on the
+// documents the observability layer emits (Snapshot::to_json, the
+// Chrome trace export, flight-recorder files, BENCH_*.json).  Test
+// support only: failures surface through gtest expectations and the
+// failed() flag, not exceptions.
+#pragma once
+
+#include <gtest/gtest.h>
+
+#include <cctype>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace ickpt::testutil {
+
+struct JsonValue {
+  enum class Kind { kNull, kBool, kNumber, kString, kArray, kObject };
+  Kind kind = Kind::kNull;
+  bool boolean = false;
+  double number = 0;
+  std::string str;
+  std::vector<JsonValue> array;
+  std::map<std::string, JsonValue> object;
+};
+
+class JsonParser {
+ public:
+  explicit JsonParser(const std::string& text) : s_(text) {}
+
+  JsonValue parse() {
+    JsonValue v = value();
+    skip_ws();
+    EXPECT_EQ(pos_, s_.size()) << "trailing garbage";
+    return v;
+  }
+
+  bool failed() const { return failed_; }
+
+ private:
+  void skip_ws() {
+    while (pos_ < s_.size() &&
+           std::isspace(static_cast<unsigned char>(s_[pos_]))) {
+      ++pos_;
+    }
+  }
+  char peek() {
+    skip_ws();
+    return pos_ < s_.size() ? s_[pos_] : '\0';
+  }
+  bool consume(char c) {
+    if (peek() != c) {
+      failed_ = true;
+      return false;
+    }
+    ++pos_;
+    return true;
+  }
+
+  JsonValue value() {
+    switch (peek()) {
+      case '{': return object();
+      case '[': return array();
+      case '"': return string_value();
+      case 't': case 'f': return boolean();
+      default: return number();
+    }
+  }
+
+  JsonValue object() {
+    JsonValue v;
+    v.kind = JsonValue::Kind::kObject;
+    consume('{');
+    if (peek() == '}') {
+      consume('}');
+      return v;
+    }
+    while (true) {
+      JsonValue key = string_value();
+      consume(':');
+      v.object[key.str] = value();
+      if (peek() != ',') break;
+      consume(',');
+    }
+    consume('}');
+    return v;
+  }
+
+  JsonValue array() {
+    JsonValue v;
+    v.kind = JsonValue::Kind::kArray;
+    consume('[');
+    if (peek() == ']') {
+      consume(']');
+      return v;
+    }
+    while (true) {
+      v.array.push_back(value());
+      if (peek() != ',') break;
+      consume(',');
+    }
+    consume(']');
+    return v;
+  }
+
+  JsonValue string_value() {
+    JsonValue v;
+    v.kind = JsonValue::Kind::kString;
+    if (!consume('"')) return v;
+    while (pos_ < s_.size() && s_[pos_] != '"') {
+      if (s_[pos_] == '\\' && pos_ + 1 < s_.size()) {
+        ++pos_;
+        switch (s_[pos_]) {
+          case 'n': v.str += '\n'; break;
+          case 't': v.str += '\t'; break;
+          default: v.str += s_[pos_]; break;
+        }
+      } else {
+        v.str += s_[pos_];
+      }
+      ++pos_;
+    }
+    if (pos_ < s_.size()) ++pos_;  // closing quote
+    return v;
+  }
+
+  JsonValue boolean() {
+    JsonValue v;
+    v.kind = JsonValue::Kind::kBool;
+    if (s_.compare(pos_, 4, "true") == 0) {
+      v.boolean = true;
+      pos_ += 4;
+    } else if (s_.compare(pos_, 5, "false") == 0) {
+      v.boolean = false;
+      pos_ += 5;
+    } else {
+      failed_ = true;
+    }
+    return v;
+  }
+
+  JsonValue number() {
+    JsonValue v;
+    v.kind = JsonValue::Kind::kNumber;
+    skip_ws();
+    std::size_t start = pos_;
+    while (pos_ < s_.size() &&
+           (std::isdigit(static_cast<unsigned char>(s_[pos_])) ||
+            s_[pos_] == '-' || s_[pos_] == '+' || s_[pos_] == '.' ||
+            s_[pos_] == 'e' || s_[pos_] == 'E')) {
+      ++pos_;
+    }
+    if (start == pos_) {
+      failed_ = true;
+      return v;
+    }
+    v.number = std::stod(s_.substr(start, pos_ - start));
+    return v;
+  }
+
+  const std::string& s_;
+  std::size_t pos_ = 0;
+  bool failed_ = false;
+};
+
+}  // namespace ickpt::testutil

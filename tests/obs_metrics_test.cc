@@ -3,6 +3,7 @@
 // JSON round-trip through a minimal in-test parser.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cctype>
 #include <map>
 #include <memory>
@@ -13,6 +14,7 @@
 
 #include "obs/metrics.h"
 #include "obs/timer.h"
+#include "tests/json_test_util.h"
 
 namespace ickpt::obs {
 namespace {
@@ -59,6 +61,60 @@ TEST(ObsHistogramTest, BucketIndexByBitWidth) {
   EXPECT_EQ(Histogram::bucket_index(1023), 10);
   EXPECT_EQ(Histogram::bucket_index(1024), 11);
   EXPECT_EQ(Histogram::bucket_index(~0ull), Histogram::kBuckets - 1);
+}
+
+TEST(ObsHistogramTest, PowerOfTwoBoundariesAreDeterministic) {
+  // Exact powers of two open a new bucket: 2^k has bit width k+1, so
+  // it is the first value of bucket k+1, and bucket_lo/bucket_hi agree
+  // with bucket_index about where every boundary lies.
+  for (int k = 0; k < 63; ++k) {
+    const std::uint64_t v = 1ull << k;
+    const int idx = Histogram::bucket_index(v);
+    EXPECT_EQ(idx, std::min(k + 1, Histogram::kBuckets - 1)) << "k=" << k;
+    EXPECT_GE(v, Histogram::bucket_lo(idx)) << "k=" << k;
+    EXPECT_LE(v, Histogram::bucket_hi(idx)) << "k=" << k;
+    if (v > 1) {
+      // The predecessor lands one bucket down, never shares the bucket.
+      EXPECT_EQ(Histogram::bucket_index(v - 1), idx - 1) << "k=" << k;
+      EXPECT_EQ(Histogram::bucket_hi(idx - 1), v - 1) << "k=" << k;
+      EXPECT_EQ(Histogram::bucket_lo(idx), v) << "k=" << k;
+    }
+  }
+}
+
+TEST(ObsHistogramTest, QuantileOnEmptyAndExtremeArgs) {
+  auto& h = registry().histogram("test.hist.q_empty", Unit::kNone);
+  h.reset();
+  EXPECT_EQ(h.approx_quantile(-1.0), 0.0);
+  EXPECT_EQ(h.approx_quantile(0.0), 0.0);
+  EXPECT_EQ(h.approx_quantile(0.5), 0.0);
+  EXPECT_EQ(h.approx_quantile(1.0), 0.0);
+  EXPECT_EQ(h.approx_quantile(2.0), 0.0);
+}
+
+TEST(ObsHistogramTest, QuantileOfSingleSampleIsTheSample) {
+  auto& h = registry().histogram("test.hist.q_single", Unit::kNone);
+  h.reset();
+  h.record(1000);  // bucket [512,1024): the old midpoint estimate
+                   // overshot to 768..; min/max clamping answers 1000
+  for (double q : {0.0, 0.01, 0.5, 0.99, 1.0}) {
+    EXPECT_EQ(h.approx_quantile(q), 1000.0) << "q=" << q;
+  }
+}
+
+TEST(ObsHistogramTest, QuantileStaysWithinObservedRange) {
+  auto& h = registry().histogram("test.hist.q_range", Unit::kNone);
+  h.reset();
+  // Saturate the top bucket: without clamping, the midpoint of
+  // [2^62, ~0] overflows past max().
+  h.record(~0ull);
+  h.record(~0ull - 1);
+  EXPECT_EQ(h.approx_quantile(0.99), static_cast<double>(h.max()));
+  h.record(3);
+  for (double q : {0.0, 0.25, 0.5, 0.75, 1.0}) {
+    EXPECT_GE(h.approx_quantile(q), static_cast<double>(h.min()));
+    EXPECT_LE(h.approx_quantile(q), static_cast<double>(h.max()));
+  }
 }
 
 TEST(ObsHistogramTest, StatsAndQuantiles) {
@@ -146,155 +202,8 @@ TEST(ObsRegistryTest, ThreadedIncrementsAreExact) {
 
 // ------------------------------------------------------ JSON round-trip
 
-/// Minimal JSON value — just enough to check what Snapshot emits.
-struct JsonValue {
-  enum class Kind { kNull, kBool, kNumber, kString, kArray, kObject };
-  Kind kind = Kind::kNull;
-  bool boolean = false;
-  double number = 0;
-  std::string str;
-  std::vector<JsonValue> array;
-  std::map<std::string, JsonValue> object;
-};
-
-class JsonParser {
- public:
-  explicit JsonParser(const std::string& text) : s_(text) {}
-
-  JsonValue parse() {
-    JsonValue v = value();
-    skip_ws();
-    EXPECT_EQ(pos_, s_.size()) << "trailing garbage";
-    return v;
-  }
-
-  bool failed() const { return failed_; }
-
- private:
-  void skip_ws() {
-    while (pos_ < s_.size() &&
-           std::isspace(static_cast<unsigned char>(s_[pos_]))) {
-      ++pos_;
-    }
-  }
-  char peek() {
-    skip_ws();
-    return pos_ < s_.size() ? s_[pos_] : '\0';
-  }
-  bool consume(char c) {
-    if (peek() != c) {
-      failed_ = true;
-      return false;
-    }
-    ++pos_;
-    return true;
-  }
-
-  JsonValue value() {
-    switch (peek()) {
-      case '{': return object();
-      case '[': return array();
-      case '"': return string_value();
-      case 't': case 'f': return boolean();
-      default: return number();
-    }
-  }
-
-  JsonValue object() {
-    JsonValue v;
-    v.kind = JsonValue::Kind::kObject;
-    consume('{');
-    if (peek() == '}') {
-      consume('}');
-      return v;
-    }
-    while (true) {
-      JsonValue key = string_value();
-      consume(':');
-      v.object[key.str] = value();
-      if (peek() != ',') break;
-      consume(',');
-    }
-    consume('}');
-    return v;
-  }
-
-  JsonValue array() {
-    JsonValue v;
-    v.kind = JsonValue::Kind::kArray;
-    consume('[');
-    if (peek() == ']') {
-      consume(']');
-      return v;
-    }
-    while (true) {
-      v.array.push_back(value());
-      if (peek() != ',') break;
-      consume(',');
-    }
-    consume(']');
-    return v;
-  }
-
-  JsonValue string_value() {
-    JsonValue v;
-    v.kind = JsonValue::Kind::kString;
-    if (!consume('"')) return v;
-    while (pos_ < s_.size() && s_[pos_] != '"') {
-      if (s_[pos_] == '\\' && pos_ + 1 < s_.size()) {
-        ++pos_;
-        switch (s_[pos_]) {
-          case 'n': v.str += '\n'; break;
-          case 't': v.str += '\t'; break;
-          default: v.str += s_[pos_]; break;
-        }
-      } else {
-        v.str += s_[pos_];
-      }
-      ++pos_;
-    }
-    if (pos_ < s_.size()) ++pos_;  // closing quote
-    return v;
-  }
-
-  JsonValue boolean() {
-    JsonValue v;
-    v.kind = JsonValue::Kind::kBool;
-    if (s_.compare(pos_, 4, "true") == 0) {
-      v.boolean = true;
-      pos_ += 4;
-    } else if (s_.compare(pos_, 5, "false") == 0) {
-      v.boolean = false;
-      pos_ += 5;
-    } else {
-      failed_ = true;
-    }
-    return v;
-  }
-
-  JsonValue number() {
-    JsonValue v;
-    v.kind = JsonValue::Kind::kNumber;
-    skip_ws();
-    std::size_t start = pos_;
-    while (pos_ < s_.size() &&
-           (std::isdigit(static_cast<unsigned char>(s_[pos_])) ||
-            s_[pos_] == '-' || s_[pos_] == '+' || s_[pos_] == '.' ||
-            s_[pos_] == 'e' || s_[pos_] == 'E')) {
-      ++pos_;
-    }
-    if (start == pos_) {
-      failed_ = true;
-      return v;
-    }
-    v.number = std::stod(s_.substr(start, pos_ - start));
-    return v;
-  }
-
-  const std::string& s_;
-  std::size_t pos_ = 0;
-  bool failed_ = false;
-};
+using testutil::JsonParser;
+using testutil::JsonValue;
 
 TEST(ObsJsonTest, SnapshotRoundTrips) {
   registry().counter("test.json.counter").reset();

@@ -1,0 +1,295 @@
+// Span tracing: ring claim/publish semantics under wraparound and
+// concurrent emitters, name interning, begin/end rollup, the Chrome
+// trace-event export, and the async-signal-safe emit path driven by a
+// real SIGSEGV from the mprotect engine.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstring>
+#include <set>
+#include <thread>
+#include <vector>
+
+#include "common/arena.h"
+#include "common/page.h"
+#include "memtrack/mprotect_engine.h"
+#include "obs/trace.h"
+#include "tests/json_test_util.h"
+
+namespace ickpt::obs {
+namespace {
+
+using testutil::JsonParser;
+using testutil::JsonValue;
+
+TEST(TraceNameTest, InterningIsStableAndDecodes) {
+  const std::uint16_t a = trace_name("test.trace.alpha", TraceCat::kCkpt);
+  const std::uint16_t b = trace_name("test.trace.beta", TraceCat::kRestore);
+  ASSERT_NE(a, 0);
+  ASSERT_NE(b, 0);
+  EXPECT_NE(a, b);
+  EXPECT_EQ(trace_name("test.trace.alpha", TraceCat::kCkpt), a);
+  EXPECT_EQ(trace_name_string(a), "test.trace.alpha");
+  EXPECT_EQ(trace_name_cat(a), TraceCat::kCkpt);
+  EXPECT_EQ(trace_name_string(b), "test.trace.beta");
+  EXPECT_EQ(trace_name_cat(b), TraceCat::kRestore);
+  EXPECT_EQ(trace_name_string(0), "?");
+  EXPECT_EQ(trace_name_cat(0), TraceCat::kOther);
+}
+
+TEST(TraceRingTest, HoldsEventsInEmitOrder) {
+  const std::uint16_t id = trace_name("test.trace.order");
+  TraceRing ring(64);
+  for (std::uint64_t i = 0; i < 10; ++i) {
+    ring.emit(id, TracePhase::kInstant, i, i * 2);
+  }
+  EXPECT_EQ(ring.emitted(), 10u);
+  EXPECT_EQ(ring.dropped(), 0u);
+  auto events = ring.snapshot();
+  ASSERT_EQ(events.size(), 10u);
+  for (std::uint64_t i = 0; i < events.size(); ++i) {
+    EXPECT_EQ(events[i].seq, i);
+    EXPECT_EQ(events[i].name_id, id);
+    EXPECT_EQ(events[i].arg0, i);
+    EXPECT_EQ(events[i].arg1, i * 2);
+    EXPECT_EQ(events[i].phase, TracePhase::kInstant);
+    if (i > 0) EXPECT_GE(events[i].ts_ns, events[i - 1].ts_ns);
+  }
+}
+
+TEST(TraceRingTest, WraparoundKeepsTheMostRecentEvents) {
+  const std::uint16_t id = trace_name("test.trace.wrap");
+  TraceRing ring(8);  // minimum capacity
+  ASSERT_EQ(ring.capacity(), 8u);
+  const std::uint64_t total = 8 * 5 + 3;  // several revolutions
+  for (std::uint64_t i = 0; i < total; ++i) {
+    ring.emit(id, TracePhase::kInstant, i);
+  }
+  EXPECT_EQ(ring.emitted(), total);
+  EXPECT_EQ(ring.dropped(), total - 8);
+  auto events = ring.snapshot();
+  ASSERT_EQ(events.size(), 8u);
+  // Exactly the newest 8, oldest first.
+  for (std::uint64_t i = 0; i < 8; ++i) {
+    EXPECT_EQ(events[i].seq, total - 8 + i);
+    EXPECT_EQ(events[i].arg0, total - 8 + i);
+  }
+}
+
+TEST(TraceRingTest, ReadRecentTruncatesToMax) {
+  const std::uint16_t id = trace_name("test.trace.recent");
+  TraceRing ring(32);
+  for (std::uint64_t i = 0; i < 20; ++i) {
+    ring.emit(id, TracePhase::kInstant, i);
+  }
+  TraceEvent out[5];
+  const std::size_t n = ring.read_recent(out, 5);
+  ASSERT_EQ(n, 5u);
+  for (std::size_t i = 0; i < n; ++i) {
+    EXPECT_EQ(out[i].arg0, 15 + i);  // the 5 newest
+  }
+  EXPECT_EQ(ring.read_recent(nullptr, 5), 0u);
+  EXPECT_EQ(ring.read_recent(out, 0), 0u);
+}
+
+TEST(TraceRingTest, ResetDropsEverything) {
+  const std::uint16_t id = trace_name("test.trace.reset");
+  TraceRing ring(16);
+  for (int i = 0; i < 40; ++i) ring.emit(id, TracePhase::kInstant);
+  ring.reset();
+  EXPECT_EQ(ring.emitted(), 0u);
+  EXPECT_EQ(ring.dropped(), 0u);
+  EXPECT_TRUE(ring.snapshot().empty());
+}
+
+TEST(TraceRingTest, ConcurrentEmittersLoseNothingWhenSized) {
+  // 4 threads x 4096 events into a 32768-slot ring: nothing wraps, so
+  // every event must come out exactly once with its payload intact.
+  // Run under TSan this doubles as the emit/read race check.
+  const std::uint16_t id = trace_name("test.trace.mt");
+  TraceRing ring(1u << 15);
+  constexpr int kThreads = 4;
+  constexpr std::uint64_t kPerThread = 4096;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&ring, id, t] {
+      for (std::uint64_t i = 0; i < kPerThread; ++i) {
+        ring.emit(id, TracePhase::kInstant,
+                  static_cast<std::uint64_t>(t) * kPerThread + i);
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(ring.emitted(), kThreads * kPerThread);
+  auto events = ring.snapshot();
+  ASSERT_EQ(events.size(), kThreads * kPerThread);
+  std::set<std::uint64_t> args;
+  std::set<std::uint32_t> tids;
+  for (const auto& e : events) {
+    args.insert(e.arg0);
+    tids.insert(e.tid);
+  }
+  EXPECT_EQ(args.size(), kThreads * kPerThread);  // no duplicates, no loss
+  EXPECT_EQ(tids.size(), kThreads);
+}
+
+TEST(TraceRingTest, ConcurrentReadersSkipTornSlots) {
+  // Hammer a tiny ring from two writers while a reader snapshots: the
+  // reader must only ever observe fully-published events (payload
+  // matches the claimed name id), never garbage.
+  const std::uint16_t id = trace_name("test.trace.torn");
+  TraceRing ring(8);
+  std::atomic<bool> stop{false};
+  std::vector<std::thread> writers;
+  for (int t = 0; t < 2; ++t) {
+    writers.emplace_back([&] {
+      std::uint64_t i = 0;
+      while (!stop.load(std::memory_order_relaxed)) {
+        ring.emit(id, TracePhase::kInstant, i, ~i);
+        ++i;
+      }
+    });
+  }
+  for (int r = 0; r < 2000; ++r) {
+    TraceEvent out[8];
+    const std::size_t n = ring.read_recent(out, 8);
+    for (std::size_t i = 0; i < n; ++i) {
+      EXPECT_EQ(out[i].name_id, id);
+      EXPECT_EQ(out[i].arg1, ~out[i].arg0);
+    }
+  }
+  stop.store(true);
+  for (auto& t : writers) t.join();
+}
+
+TEST(TraceSpanTest, RollupPairsBeginEnd) {
+  const std::uint16_t outer = trace_name("test.span.outer");
+  const std::uint16_t inner = trace_name("test.span.inner");
+  std::vector<TraceEvent> events;
+  auto ev = [](std::uint16_t id, TracePhase ph, std::uint64_t ts,
+               std::uint32_t tid) {
+    TraceEvent e;
+    e.name_id = id;
+    e.phase = ph;
+    e.ts_ns = ts;
+    e.tid = tid;
+    return e;
+  };
+  // Nested same-thread spans plus an interleaved span on thread 2 and
+  // an unmatched begin that must be ignored.
+  events.push_back(ev(outer, TracePhase::kBegin, 100, 1));
+  events.push_back(ev(inner, TracePhase::kBegin, 110, 1));
+  events.push_back(ev(outer, TracePhase::kBegin, 115, 2));
+  events.push_back(ev(inner, TracePhase::kEnd, 140, 1));
+  events.push_back(ev(outer, TracePhase::kEnd, 150, 1));
+  events.push_back(ev(outer, TracePhase::kEnd, 165, 2));
+  events.push_back(ev(inner, TracePhase::kBegin, 170, 1));  // unmatched
+  auto rollups = rollup_spans(events);
+  ASSERT_EQ(rollups.size(), 2u);
+  // Sorted by name: inner before outer.
+  EXPECT_EQ(rollups[0].name, "test.span.inner");
+  EXPECT_EQ(rollups[0].count, 1u);
+  EXPECT_EQ(rollups[0].total_ns, 30u);
+  EXPECT_EQ(rollups[1].name, "test.span.outer");
+  EXPECT_EQ(rollups[1].count, 2u);
+  EXPECT_EQ(rollups[1].total_ns, 50u + 50u);
+}
+
+TEST(TraceExportTest, ChromeJsonParsesAndCarriesFields) {
+  const std::uint16_t id = trace_name("test.export.span", TraceCat::kBench);
+  std::vector<TraceEvent> events;
+  TraceEvent b;
+  b.name_id = id;
+  b.phase = TracePhase::kBegin;
+  b.ts_ns = 1234567;  // 1234.567 us
+  b.tid = 42;
+  b.arg0 = 7;
+  b.arg1 = 9;
+  TraceEvent e = b;
+  e.phase = TracePhase::kEnd;
+  e.ts_ns = 2234567;
+  TraceEvent inst = b;
+  inst.phase = TracePhase::kInstant;
+  inst.ts_ns = 3000000;
+  events = {b, e, inst};
+
+  const std::string json = chrome_trace_json(events);
+  JsonParser parser(json);
+  JsonValue root = parser.parse();
+  ASSERT_FALSE(parser.failed()) << json;
+  auto& arr = root.object["traceEvents"];
+  ASSERT_EQ(arr.kind, JsonValue::Kind::kArray);
+  ASSERT_EQ(arr.array.size(), 3u);
+  EXPECT_EQ(arr.array[0].object["name"].str, "test.export.span");
+  EXPECT_EQ(arr.array[0].object["cat"].str, "bench");
+  EXPECT_EQ(arr.array[0].object["ph"].str, "B");
+  EXPECT_DOUBLE_EQ(arr.array[0].object["ts"].number, 1234.567);
+  EXPECT_DOUBLE_EQ(arr.array[0].object["tid"].number, 42.0);
+  EXPECT_DOUBLE_EQ(arr.array[0].object["args"].object["arg0"].number, 7.0);
+  EXPECT_EQ(arr.array[1].object["ph"].str, "E");
+  EXPECT_EQ(arr.array[2].object["ph"].str, "i");
+  EXPECT_EQ(arr.array[2].object["s"].str, "t");
+}
+
+// --------------------------------------------- process ring + fault path
+
+TEST(TraceProcessTest, EmitRequiresTracingOn) {
+  const std::uint16_t id = trace_name("test.process.gate");
+  start_tracing();
+  TraceRing* ring = trace_ring();
+  ASSERT_NE(ring, nullptr);
+  const std::uint64_t before = ring->emitted();
+  trace_instant(id, 1);
+  EXPECT_EQ(ring->emitted(), before + 1);
+  stop_tracing();
+  trace_instant(id, 2);
+  EXPECT_EQ(ring->emitted(), before + 1);
+  { TraceSpan dead(id); }  // constructed while off: both edges elided
+  EXPECT_EQ(ring->emitted(), before + 1);
+  start_tracing();
+  {
+    TraceSpan span(id, 3);
+    span.end(4);
+    span.end(5);  // idempotent: no second end event
+  }
+  EXPECT_EQ(ring->emitted(), before + 3);
+  stop_tracing();
+}
+
+TEST(TraceProcessTest, FaultHandlerEmitsFromSignalContext) {
+  // A real SIGSEGV through the mprotect engine must land a
+  // "memtrack.fault" instant in the process ring: the emit path runs
+  // entirely inside the signal handler.
+  const std::size_t psize = page_size();
+  PageArena arena(8 * psize);
+  arena.prefault();
+  memtrack::MProtectEngine engine;
+  ASSERT_TRUE(engine.attach(arena.span(), "data").is_ok());
+  ASSERT_TRUE(engine.arm().is_ok());
+
+  start_tracing();
+  TraceRing* ring = trace_ring();
+  ASSERT_NE(ring, nullptr);
+  const std::uint64_t before = ring->emitted();
+  arena.data()[0] = std::byte{1};          // faults, unprotects, emits
+  arena.data()[psize * 3] = std::byte{1};  // a second page
+  stop_tracing();
+
+  EXPECT_GE(ring->emitted(), before + 2);
+  auto events = ring->snapshot();
+  int fault_events = 0;
+  for (const auto& e : events) {
+    if (e.seq < before) continue;
+    if (trace_name_string(e.name_id) == "memtrack.fault") {
+      ++fault_events;
+      EXPECT_EQ(e.phase, TracePhase::kInstant);
+      EXPECT_EQ(trace_name_cat(e.name_id), TraceCat::kMemtrack);
+      EXPECT_GE(e.arg1, 1u);  // pages unprotected by this fault
+    }
+  }
+  EXPECT_GE(fault_events, 2);
+  ASSERT_TRUE(engine.collect(false).is_ok());
+}
+
+}  // namespace
+}  // namespace ickpt::obs

@@ -1,0 +1,56 @@
+#!/usr/bin/env sh
+# Validate BENCH_<name>.json records against the shape documented in
+# docs/BENCH_SCHEMA.json.  CI runs this after the bench-smoke arms; it
+# needs only jq, so the assertions below mirror the schema rather than
+# invoking a JSON Schema validator.
+#
+# Usage: check_bench_json.sh FILE [FILE...]
+set -eu
+
+if [ "$#" -lt 1 ]; then
+  echo "usage: $0 BENCH_file.json [...]" >&2
+  exit 2
+fi
+
+status=0
+for f in "$@"; do
+  if [ ! -f "$f" ]; then
+    echo "FAIL $f: missing" >&2
+    status=1
+    continue
+  fi
+  if ! jq -e '
+    (.bench | type == "string" and length > 0) and
+    (.schema == 1) and
+    (.scale | type == "number" and . > 0) and
+    (.quick | type == "boolean") and
+    (.hw_threads | type == "number" and . >= 1) and
+    (.timestamp_unix | type == "number" and . >= 0) and
+    (.arms | type == "array" and length > 0) and
+    ([.arms[] |
+        (.name | type == "string" and length > 0) and
+        (.wall_s | type == "number" and . >= 0) and
+        (.cpu_s | type == "number" and . >= 0) and
+        (.bytes | type == "number" and . >= 0) and
+        (.phases | type == "array") and
+        ([.phases[]? |
+            (.name | type == "string" and length > 0) and
+            (.count | type == "number" and . >= 1) and
+            (.total_ns | type == "number" and . >= 0)
+         ] | all)
+     ] | all)
+  ' "$f" > /dev/null; then
+    echo "FAIL $f: does not match docs/BENCH_SCHEMA.json" >&2
+    status=1
+    continue
+  fi
+  # Arm names must be unique or downstream joins silently mis-pair.
+  if [ "$(jq -r '[.arms[].name] | length' "$f")" != \
+       "$(jq -r '[.arms[].name] | unique | length' "$f")" ]; then
+    echo "FAIL $f: duplicate arm names" >&2
+    status=1
+    continue
+  fi
+  echo "OK   $f ($(jq -r '.arms | length' "$f") arms)"
+done
+exit $status

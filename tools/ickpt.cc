@@ -6,25 +6,29 @@
 //   ickpt study --app NAME [--timeslice S] [--ranks N] [--engine E]
 //               [--scale F] [--run-vs S] [--csv FILE] [--phase S]
 //               [--ckpt-dir DIR] [--encode-threads N] [--async]
-//               [--no-compress] [--stats]
+//               [--no-compress] [--stats] [--trace FILE]
 //       Run a feasibility study and print the measured
 //       characterization, bandwidth requirement and verdict.
 //       With --ckpt-dir it also writes a real full+incremental
 //       checkpoint chain (parallel encode, optional async writer).
 //       With --stats it appends the observability snapshot: fault
 //       cost, per-stage checkpoint timing, storage metrics — as a
-//       table and as JSON.
+//       table and as JSON.  With --trace it records span tracing
+//       (fault instants, encode shards, backend writes) and writes
+//       Chrome/Perfetto trace-event JSON.  --write-trace saves the
+//       dirty-page write trace for 'ickpt replay'.
 //
 //   ickpt stats [--iters N] [--json]
 //       Self-benchmark the metrics layer (cost per counter increment,
-//       histogram record, enabled and idle scoped timer) and print the
-//       resulting registry snapshot.
+//       histogram record, enabled and idle scoped timer, trace emit)
+//       and print the resulting registry snapshot.
 //
-//   ickpt fsck DIR [--repair]
+//   ickpt fsck DIR [--repair] [--trace FILE]
 //       Verify every checkpoint chain in a file-backend directory.
 //       With --repair, quarantine corrupt tails and orphans (moved
 //       under DIR/quarantine/, never deleted) so every rank keeps its
-//       newest restorable prefix, then re-verify.
+//       newest restorable prefix, then re-verify.  An unhealthy store
+//       leaves a flight-recorder dump under DIR.
 //
 //   ickpt replay TRACE.wt
 //       Replay a saved write trace through the explicit engine and
@@ -47,8 +51,10 @@
 #include "common/table.h"
 #include "common/units.h"
 #include "core/study.h"
+#include "obs/flightrec.h"
 #include "obs/metrics.h"
 #include "obs/timer.h"
+#include "obs/trace.h"
 #include "storage/backend.h"
 #include "trace/write_trace.h"
 
@@ -63,10 +69,11 @@ int usage() {
                "                   [--engine mprotect|softdirty|uffd|explicit]\n"
                "                   [--scale F] [--run-vs S] [--phase S]\n"
                "                   [--csv FILE] [--trace FILE]\n"
+               "                   [--write-trace FILE]\n"
                "                   [--ckpt-dir DIR] [--encode-threads N]\n"
                "                   [--async] [--no-compress] [--stats]\n"
                "       ickpt stats [--iters N] [--json]\n"
-               "       ickpt fsck DIR [--repair]\n"
+               "       ickpt fsck DIR [--repair] [--trace FILE]\n"
                "       ickpt replay TRACE.wt\n"
                "('ickpt <command> --help' lists every flag.)\n");
   return 2;
@@ -92,6 +99,27 @@ Result<memtrack::EngineKind> parse_engine(const std::string& name) {
 void print_metrics(const obs::Snapshot& snap, const std::string& title) {
   snap.table(title).print(std::cout);
   std::printf("%s\n", snap.to_json().c_str());
+}
+
+/// Snapshot the span-trace ring into Chrome trace-event JSON at
+/// `path`.  Returns the process exit code contribution (0 or 1).
+int finish_span_trace(const std::string& path) {
+  if (path.empty()) return 0;
+  obs::stop_tracing();
+  auto st = obs::write_chrome_trace(path);
+  if (!st.is_ok()) {
+    std::fprintf(stderr, "span trace: %s\n", st.to_string().c_str());
+    return 1;
+  }
+  const obs::TraceRing* ring = obs::trace_ring();
+  std::printf("span trace  : %s (%llu events%s; open in ui.perfetto.dev "
+              "or chrome://tracing)\n",
+              path.c_str(),
+              static_cast<unsigned long long>(
+                  ring != nullptr ? ring->emitted() : 0),
+              ring != nullptr && ring->dropped() > 0 ? ", ring wrapped"
+                                                     : "");
+  return 0;
 }
 
 int cmd_apps(int argc, char** argv) {
@@ -124,7 +152,8 @@ int cmd_study(int argc, char** argv) {
   cfg.footprint_scale = 1.0 / 16.0;
   std::string engine_name = "mprotect";
   std::string csv_path;
-  std::string trace_path;
+  std::string write_trace_path;
+  std::string span_trace_path;
   bool no_compress = false;
   bool want_stats = false;
   bool help = false;
@@ -142,7 +171,10 @@ int cmd_study(int argc, char** argv) {
   flags.add_double("phase", &cfg.sample_phase,
                    "offset of the first slice boundary (s)");
   flags.add_string("csv", &csv_path, "write rank 0's series to this CSV");
-  flags.add_string("trace", &trace_path,
+  flags.add_string("trace", &span_trace_path,
+                   "record span tracing and write Chrome/Perfetto "
+                   "trace-event JSON here");
+  flags.add_string("write-trace", &write_trace_path,
                    "save rank 0's write trace ('ickpt replay' reads it)");
   flags.add_string("ckpt-dir", &cfg.checkpoint_dir,
                    "write a real checkpoint chain to this directory");
@@ -163,7 +195,8 @@ int cmd_study(int argc, char** argv) {
     return 0;
   }
   cfg.compress = !no_compress;
-  cfg.capture_trace = !trace_path.empty();
+  cfg.capture_trace = !write_trace_path.empty();
+  if (!span_trace_path.empty()) obs::start_tracing();
 
   auto engine = parse_engine(engine_name);
   if (!engine.is_ok()) {
@@ -243,15 +276,16 @@ int cmd_study(int argc, char** argv) {
     }
     std::printf("series csv  : %s\n", csv_path.c_str());
   }
-  if (!trace_path.empty()) {
-    auto st = r->write_trace.save(trace_path);
+  if (!write_trace_path.empty()) {
+    auto st = r->write_trace.save(write_trace_path);
     if (!st.is_ok()) {
       std::fprintf(stderr, "trace: %s\n", st.to_string().c_str());
       return 1;
     }
     std::printf("write trace : %s (%zu events; 'ickpt replay' reads it)\n",
-                trace_path.c_str(), r->write_trace.events().size());
+                write_trace_path.c_str(), r->write_trace.events().size());
   }
+  if (finish_span_trace(span_trace_path) != 0) return 1;
   if (want_stats) print_metrics(r->metrics, "study metrics");
   return 0;
 }
@@ -310,6 +344,20 @@ int cmd_stats(int argc, char** argv) {
   const double idle_ns = per_op(t0, obs::now_ns());
   obs::set_enabled(true);
 
+  // Trace-emit cost: with tracing off (the always-on branch every
+  // instrumented site pays) and on (ring emit).
+  const std::uint16_t t_bench =
+      obs::trace_name("obs.bench.emit", obs::TraceCat::kBench);
+  t0 = obs::now_ns();
+  for (std::uint64_t i = 0; i < n; ++i) obs::trace_instant(t_bench, i);
+  const double trace_off_ns = per_op(t0, obs::now_ns());
+
+  obs::start_tracing();
+  t0 = obs::now_ns();
+  for (std::uint64_t i = 0; i < n; ++i) obs::trace_instant(t_bench, i);
+  const double trace_on_ns = per_op(t0, obs::now_ns());
+  obs::stop_tracing();
+
   if (!json_only) {
     TextTable table("metrics layer self-benchmark (" +
                     std::to_string(n) + " ops each)");
@@ -318,6 +366,10 @@ int cmd_stats(int argc, char** argv) {
     table.add_row({"histogram record", TextTable::num(record_ns, 1)});
     table.add_row({"scoped timer (enabled)", TextTable::num(timer_ns, 1)});
     table.add_row({"scoped timer (idle)", TextTable::num(idle_ns, 1)});
+    table.add_row({"trace emit (tracing off)",
+                   TextTable::num(trace_off_ns, 1)});
+    table.add_row({"trace emit (tracing on)",
+                   TextTable::num(trace_on_ns, 1)});
     table.print(std::cout);
   }
 
@@ -336,10 +388,14 @@ int cmd_fsck(int argc, char** argv) {
 
   bool repair = false;
   bool help = false;
+  std::string span_trace_path;
   FlagSet flags("ickpt fsck DIR");
   flags.add_bool("repair", &repair,
                  "quarantine corrupt tails/orphans so every rank keeps "
                  "its newest restorable prefix");
+  flags.add_string("trace", &span_trace_path,
+                   "record span tracing and write Chrome/Perfetto "
+                   "trace-event JSON here");
   flags.add_bool("help", &help, "show this help");
   auto parsed = flags.parse(argc, argv, 3);
   if (!parsed.is_ok()) return flag_error(parsed, flags);
@@ -347,6 +403,10 @@ int cmd_fsck(int argc, char** argv) {
     std::printf("%s", flags.help().c_str());
     return 0;
   }
+  if (!span_trace_path.empty()) obs::start_tracing();
+  // Arm the flight recorder: restore failures inside fsck leave a
+  // post-mortem dump next to the objects being checked.
+  obs::flightrec::configure(dir);
 
   auto backend = storage::make_file_backend(dir);
   if (!backend.is_ok()) {
@@ -403,6 +463,11 @@ int cmd_fsck(int argc, char** argv) {
     std::printf("! %s\n", p.c_str());
   }
   std::printf("store: %s\n", report->healthy() ? "HEALTHY" : "UNHEALTHY");
+  if (!report->healthy()) {
+    auto path = obs::flightrec::dump("fsck found the store unhealthy");
+    if (!path.empty()) std::printf("flight recorder: %s\n", path.c_str());
+  }
+  if (finish_span_trace(span_trace_path) != 0) return 1;
   return report->healthy() ? 0 : 1;
 }
 
