@@ -9,9 +9,11 @@
 
 #include <chrono>
 #include <cstring>
+#include <filesystem>
 
 #include "checkpoint/checkpointer.h"
 #include "common/page.h"
+#include "obs/metrics.h"
 #include "common/rng.h"
 #include "common/thread_pool.h"
 #include "memtrack/explicit_engine.h"
@@ -49,17 +51,17 @@ void fill_mixed(std::span<std::byte> mem, Rng& rng) {
 }
 
 /// Seconds the application thread spends producing `reps` full
-/// checkpoints (including the async flush barrier at the end, so sync
-/// and async move the same bytes).
-double time_config(region::AddressSpace& space, int threads, bool compress,
-                   bool async, int reps) {
-  auto storage = storage::make_null_backend();
+/// checkpoints into `storage` (including the async flush barrier at
+/// the end, so sync and async move the same bytes).
+double time_config_into(region::AddressSpace& space,
+                        storage::StorageBackend& storage, int threads,
+                        bool compress, bool async, int reps) {
   checkpoint::CheckpointerOptions opts;
   opts.compress = compress;
   opts.encode_threads = threads;
   opts.async = async;
   auto ckpt =
-      checkpoint::Checkpointer::create(space, storage.get(), opts).value();
+      checkpoint::Checkpointer::create(space, &storage, opts).value();
 
   const auto t0 = std::chrono::steady_clock::now();
   for (int r = 0; r < reps; ++r) {
@@ -73,6 +75,12 @@ double time_config(region::AddressSpace& space, int threads, bool compress,
   if (!ckpt->flush().is_ok()) std::exit(1);
   return std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
       .count();
+}
+
+double time_config(region::AddressSpace& space, int threads, bool compress,
+                   bool async, int reps) {
+  auto storage = storage::make_null_backend();
+  return time_config_into(space, *storage, threads, compress, async, reps);
 }
 
 }  // namespace
@@ -134,6 +142,42 @@ int main(int argc, char** argv) {
       }
     }
   }
+  // File-sink arms: the same encode against a real filesystem, once
+  // buffered and once through the O_DIRECT staging writer.  On
+  // filesystems that refuse O_DIRECT (tmpfs CI) the direct arm
+  // transparently degrades to buffered — the fallback column says
+  // which path actually ran.
+  auto& fallbacks = obs::registry().counter("storage.direct_io_fallback");
+  const int file_threads = thread_sweep.back();
+  for (bool direct : {false, true}) {
+    const std::string dir = "ablation_parallel_encode_sink";
+    std::filesystem::remove_all(dir);
+    storage::FileBackendOptions fopts;
+    fopts.direct_io = direct;
+    auto file_backend = storage::make_file_backend(dir, fopts);
+    if (!file_backend.is_ok()) {
+      std::cerr << "file backend: " << file_backend.status().to_string()
+                << "\n";
+      return 1;
+    }
+    const std::uint64_t fb0 = fallbacks.value();
+    double secs = 0;
+    const std::string arm_name =
+        direct ? "file_direct_write" : "file_buffered_write";
+    bench_json.run_arm(arm_name, arm_bytes, [&] {
+      secs = time_config_into(space, **file_backend, file_threads,
+                              /*compress=*/false, /*async=*/false, reps);
+    });
+    const bool fell_back = fallbacks.value() > fb0;
+    table.add_row({TextTable::num(file_threads, 0), "off",
+                   direct ? (fell_back ? "direct->buffered" : "direct")
+                          : "file buffered",
+                   TextTable::num(secs, 3),
+                   TextTable::num(set_mb * reps / secs, 0),
+                   TextTable::num(1.0, 2)});
+    std::filesystem::remove_all(dir);
+  }
+
   finish(table, "ablation_parallel_encode.csv");
   bench_json.write(args);
   std::cout << "sharded encode + CRC combine lifts the single-core "

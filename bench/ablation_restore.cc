@@ -11,6 +11,7 @@
 
 #include <chrono>
 #include <cstring>
+#include <filesystem>
 
 #include "checkpoint/checkpointer.h"
 #include "checkpoint/restore.h"
@@ -215,6 +216,66 @@ int main(int argc, char** argv) {
                           2)});
     }
   }
+  // File-backed arms: the same chain on a real filesystem, decoded
+  // once through buffered read_at and once through the zero-copy mmap
+  // path (RestoreOptions::map_reads) — the ablation behind the
+  // map-reads default.  Byte identity against the serial restorer is
+  // asserted as above.
+  {
+    const int incrementals = args.quick ? 3 : 7;
+    const std::string dir = "ablation_restore_chain";
+    std::filesystem::remove_all(dir);
+    auto file_backend = storage::make_file_backend(dir);
+    if (!file_backend.is_ok()) {
+      std::cerr << "file backend: " << file_backend.status().to_string()
+                << "\n";
+      return 1;
+    }
+    build_chain(**file_backend, mb, incrementals, rng);
+    const std::string chain_label = "1+" + std::to_string(incrementals);
+
+    auto reference =
+        checkpoint::restore_chain_serial(**file_backend, 0);
+    if (!reference.is_ok()) std::exit(1);
+
+    double read_secs = 0;
+    for (bool map_reads : {false, true}) {
+      checkpoint::RestoreOptions opts;
+      opts.decode_threads = pool_threads;
+      opts.map_reads = map_reads;
+      Timed t;
+      bench_json.run_arm(std::string("file_chain") + chain_label +
+                             (map_reads ? "_mmap" : "_read"),
+                         arm_bytes, [&] {
+                           t = time_restore(
+                               [&] {
+                                 auto s = checkpoint::restore_chain(
+                                     **file_backend, 0, opts);
+                                 if (!s.is_ok()) std::exit(1);
+                                 if (!states_identical(*reference, *s)) {
+                                   std::cerr << "BYTE IDENTITY FAILED: "
+                                                "file-backed map_reads="
+                                             << map_reads << "\n";
+                                   std::exit(1);
+                                 }
+                               },
+                               reps);
+                         });
+      if (!map_reads) read_secs = t.seconds;
+      table.add_row(
+          {chain_label + " (file)", map_reads ? "mmap decode" : "read decode",
+           TextTable::num(t.seconds, 4),
+           TextTable::num(static_cast<double>(mb) / t.seconds, 0),
+           TextTable::num(static_cast<double>(t.decoded), 0),
+           TextTable::num(static_cast<double>(t.skipped), 0),
+           TextTable::num(map_reads && t.seconds > 0
+                              ? read_secs / t.seconds
+                              : 1.0,
+                          2)});
+    }
+    std::filesystem::remove_all(dir);
+  }
+
   finish(table, "ablation_restore.csv");
   bench_json.write(args);
   std::cout << "the plan decodes each surviving page once (Skipped = "

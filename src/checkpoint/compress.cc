@@ -13,15 +13,32 @@ struct RlePair {
 }  // namespace
 
 bool is_zero_page(std::span<const std::byte> page) {
-  // Word-wise scan; the compiler vectorizes this loop.
-  const auto* words = reinterpret_cast<const std::uint64_t*>(page.data());
-  std::size_t n = page.size() / 8;
-  std::uint64_t acc = 0;
-  for (std::size_t i = 0; i < n; ++i) acc |= words[i];
-  for (std::size_t i = n * 8; i < page.size(); ++i) {
-    acc |= static_cast<std::uint64_t>(page[i]);
+  // This runs on every page of every incremental, so it is shaped for
+  // the vectorizer: 64-byte blocks of eight independent OR-folded
+  // words (one cache line per iteration, no loop-carried dependency
+  // until the fold) with a per-block early-out — a dirty page is
+  // detected after one line instead of a whole-page scan.
+  const auto* p = reinterpret_cast<const unsigned char*>(page.data());
+  std::size_t len = page.size();
+  while (len >= 64) {
+    std::uint64_t w[8];
+    std::memcpy(w, p, 64);
+    const std::uint64_t acc = (w[0] | w[1]) | (w[2] | w[3]) |
+                              ((w[4] | w[5]) | (w[6] | w[7]));
+    if (acc != 0) return false;
+    p += 64;
+    len -= 64;
   }
-  return acc == 0;
+  std::uint64_t tail = 0;
+  while (len >= 8) {
+    std::uint64_t w;
+    std::memcpy(&w, p, 8);
+    tail |= w;
+    p += 8;
+    len -= 8;
+  }
+  while (len-- > 0) tail |= *p++;
+  return tail == 0;
 }
 
 PageEncoding encode_page(std::span<const std::byte> page,

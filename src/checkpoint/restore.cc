@@ -28,6 +28,7 @@ struct RestoreMetrics {
   obs::Counter& pages_decoded;
   obs::Counter& pages_skipped;
   obs::Counter& bytes_read;
+  obs::Counter& bytes_mapped;  ///< of bytes_read, served zero-copy
   obs::Counter& truncated_tails;
   obs::Histogram& plan_ns;
   obs::Histogram& decode_ns;
@@ -44,6 +45,7 @@ struct RestoreMetrics {
                             r.counter("restore.pages_decoded"),
                             r.counter("restore.pages_skipped"),
                             r.counter("restore.bytes_read"),
+                            r.counter("restore.bytes_mapped"),
                             r.counter("restore.truncated_tails"),
                             r.histogram("restore.plan_ns"),
                             r.histogram("restore.decode_ns"),
@@ -473,6 +475,7 @@ struct DecodeShard {
   std::uint32_t crc = 0;  ///< CRC of the byte range (set by the worker)
   std::uint32_t decoded = 0;
   std::uint32_t skipped = 0;
+  bool mapped = false;  ///< served from a zero-copy mapping
   Status status;  ///< per-shard result
 };
 
@@ -513,11 +516,14 @@ Status read_range(storage::Reader& in, std::uint64_t offset,
 
 /// Decode one shard: read its byte range, CRC it, decode the winner
 /// pages straight into the final block buffers.  Shards touch disjoint
-/// output pages, so workers never race.
+/// output pages, so workers never race.  When the backend supports
+/// map_at() (and the caller allows it) the byte range is a zero-copy
+/// view of the object; otherwise it is read into a shard-local buffer.
+/// CRC coverage and decoded bytes are identical either way.
 void run_shard(storage::StorageBackend& storage,
                const std::vector<ObjectPlan>& objs,
                const std::map<std::uint32_t, std::byte*>& out_base,
-               DecodeShard& s) {
+               bool map_reads, DecodeShard& s) {
   obs::TraceSpan span(RestoreMetrics::get().t_decode_shard, s.page_count,
                       s.length);
   const ObjectPlan& obj = objs[s.obj_idx];
@@ -526,10 +532,30 @@ void run_shard(storage::StorageBackend& storage,
     s.status = reader.status();
     return;
   }
-  std::vector<std::byte> buf(static_cast<std::size_t>(s.length));
-  s.status = read_range(**reader, s.offset, buf);
-  if (!s.status.is_ok()) return;
-  s.crc = crc32(buf);
+  std::span<const std::byte> bytes;
+  std::vector<std::byte> buf;
+  if (map_reads && (*reader)->supports_map()) {
+    auto mapped = (*reader)->map_at(s.offset,
+                                    static_cast<std::size_t>(s.length));
+    if (mapped.is_ok()) {
+      bytes = *mapped;
+      s.mapped = true;
+    } else if (mapped.status().code() == ErrorCode::kCorruption) {
+      // The range came from the object's own plan; a short object is
+      // damage, not a reason to retry through the buffered path.
+      s.status = mapped.status();
+      return;
+    }
+    // Any other failure (transient mmap exhaustion, decorator without
+    // pass-through): fall back to the buffered read below.
+  }
+  if (!s.mapped) {
+    buf.resize(static_cast<std::size_t>(s.length));
+    s.status = read_range(**reader, s.offset, buf);
+    if (!s.status.is_ok()) return;
+    bytes = buf;
+  }
+  s.crc = crc32(bytes);
 
   const std::size_t psize = obj.header.page_size;
   for (std::size_t i = s.first_page; i < s.first_page + s.page_count; ++i) {
@@ -537,7 +563,7 @@ void run_shard(storage::StorageBackend& storage,
     const std::size_t rel =
         static_cast<std::size_t>(pe.rec_offset - s.offset);
     PageRecord rec;
-    std::memcpy(&rec, buf.data() + rel, sizeof rec);
+    std::memcpy(&rec, bytes.data() + rel, sizeof rec);
     if (rec.payload_len != pe.payload_len || rec.encoding != pe.encoding) {
       s.status = corruption("object changed during restore: " + obj.key);
       return;
@@ -546,7 +572,7 @@ void run_shard(storage::StorageBackend& storage,
       ++s.skipped;
       continue;
     }
-    std::span<const std::byte> payload{buf.data() + rel + sizeof rec,
+    std::span<const std::byte> payload{bytes.data() + rel + sizeof rec,
                                        pe.payload_len};
     std::span<std::byte> page_out{
         out_base.at(pe.block_id) + std::size_t{pe.page_index} * psize,
@@ -576,7 +602,7 @@ std::uint32_t pick_shard_pages(std::uint64_t total_pages, int threads) {
 Result<RestoredState> attempt(storage::StorageBackend& storage,
                               std::uint32_t rank, std::uint64_t upto,
                               int threads, bool truncate_tail,
-                              std::uint64_t* failed_seq,
+                              bool map_reads, std::uint64_t* failed_seq,
                               bool* have_failed_seq) {
   auto& metrics = RestoreMetrics::get();
   obs::ScopedTimer plan_timer(metrics.plan_ns);
@@ -805,13 +831,15 @@ Result<RestoredState> attempt(storage::StorageBackend& storage,
   if (threads > 1 && shards.size() > 1) {
     ThreadPool pool(static_cast<std::size_t>(threads));
     for (DecodeShard& s : shards) {
-      pool.submit([&storage, &objs, &out_base, &s] {
-        run_shard(storage, objs, out_base, s);
+      pool.submit([&storage, &objs, &out_base, map_reads, &s] {
+        run_shard(storage, objs, out_base, map_reads, s);
       });
     }
     pool.wait_idle();
   } else {
-    for (DecodeShard& s : shards) run_shard(storage, objs, out_base, s);
+    for (DecodeShard& s : shards) {
+      run_shard(storage, objs, out_base, map_reads, s);
+    }
   }
 
   decode_timer.stop();
@@ -824,6 +852,7 @@ Result<RestoredState> attempt(storage::StorageBackend& storage,
   std::uint64_t pages_decoded = 0;
   std::uint64_t pages_skipped = 0;
   std::uint64_t bytes_read = 0;
+  std::uint64_t bytes_mapped = 0;
   for (std::size_t o = 0; o < objs.size(); ++o) {
     for (std::size_t si : object_shards[o]) {
       const DecodeShard& s = shards[si];
@@ -835,6 +864,7 @@ Result<RestoredState> attempt(storage::StorageBackend& storage,
       pages_decoded += s.decoded;
       pages_skipped += s.skipped;
       bytes_read += s.length;
+      if (s.mapped) bytes_mapped += s.length;
     }
     Crc32 fold;
     std::size_t next_shard = 0;
@@ -863,6 +893,7 @@ Result<RestoredState> attempt(storage::StorageBackend& storage,
   metrics.pages_decoded.inc(pages_decoded);
   metrics.pages_skipped.inc(pages_skipped);
   metrics.bytes_read.inc(bytes_read);
+  metrics.bytes_mapped.inc(bytes_mapped);
   return state;
 }
 
@@ -897,8 +928,8 @@ Result<RestoredState> restore_chain(storage::StorageBackend& storage,
     std::uint64_t failed_seq = 0;
     bool have_failed_seq = false;
     auto state = attempt(storage, rank, upto, threads,
-                         options.allow_truncated_tail, &failed_seq,
-                         &have_failed_seq);
+                         options.allow_truncated_tail, options.map_reads,
+                         &failed_seq, &have_failed_seq);
     if (state.is_ok()) return state;
     if (!options.allow_truncated_tail ||
         state.status().code() != ErrorCode::kCorruption ||

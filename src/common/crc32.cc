@@ -1,7 +1,11 @@
 #include "common/crc32.h"
 
 #include <array>
+#include <atomic>
+#include <cstdlib>
 #include <cstring>
+
+#include "common/crc32_kernels.h"
 
 namespace ickpt {
 
@@ -52,15 +56,43 @@ void gf2_matrix_square(std::uint32_t* square,
   for (int n = 0; n < 32; ++n) square[n] = gf2_matrix_times(mat, mat[n]);
 }
 
-}  // namespace
+// ---- Kernel dispatch.
+//
+// One relaxed atomic function pointer, resolved at namespace-scope
+// init (and re-resolvable via crc32_select_default_kernel()).  Code
+// that runs before this TU's initializers still computes correct CRCs:
+// the pointer statically defaults to slice8.
 
-void Crc32::update(std::span<const std::byte> data) noexcept {
-  update(data.data(), data.size());
+std::atomic<crc_detail::KernelFn> g_kernel{&crc_detail::slice8};
+std::atomic<CrcKernel> g_kernel_id{CrcKernel::kSlice8};
+
+crc_detail::KernelFn kernel_fn(CrcKernel k) noexcept {
+  switch (k) {
+    case CrcKernel::kPclmul:
+      return &crc_detail::pclmul;
+    case CrcKernel::kArmCrc:
+      return &crc_detail::armcrc;
+    case CrcKernel::kSlice8:
+      break;
+  }
+  return &crc_detail::slice8;
 }
 
-void Crc32::update(const void* data, std::size_t len) noexcept {
-  const auto* p = static_cast<const unsigned char*>(data);
-  std::uint32_t c = state_;
+CrcKernel best_hw_kernel() noexcept {
+  if (crc_detail::pclmul_supported()) return CrcKernel::kPclmul;
+  if (crc_detail::armcrc_supported()) return CrcKernel::kArmCrc;
+  return CrcKernel::kSlice8;
+}
+
+const bool g_selected = (crc32_select_default_kernel(), true);
+
+}  // namespace
+
+namespace crc_detail {
+
+std::uint32_t slice8(const unsigned char* p, std::size_t len,
+                     std::uint32_t state) noexcept {
+  std::uint32_t c = state;
   // Eight bytes per iteration; the two-word loads are memcpy so
   // alignment never matters.  Byte order: the format (and this table
   // layout) is little-endian, like every platform the repo targets.
@@ -79,7 +111,18 @@ void Crc32::update(const void* data, std::size_t len) noexcept {
   while (len-- > 0) {
     c = kTables[0][(c ^ *p++) & 0xffu] ^ (c >> 8);
   }
-  state_ = c;
+  return c;
+}
+
+}  // namespace crc_detail
+
+void Crc32::update(std::span<const std::byte> data) noexcept {
+  update(data.data(), data.size());
+}
+
+void Crc32::update(const void* data, std::size_t len) noexcept {
+  state_ = g_kernel.load(std::memory_order_relaxed)(
+      static_cast<const unsigned char*>(data), len, state_);
 }
 
 void Crc32::combine(std::uint32_t crc_b, std::uint64_t len_b) noexcept {
@@ -122,6 +165,57 @@ std::uint32_t crc32_combine(std::uint32_t crc_a, std::uint32_t crc_b,
   } while (len_b != 0);
 
   return crc_a ^ crc_b;
+}
+
+CrcKernel crc32_active_kernel() noexcept {
+  return g_kernel_id.load(std::memory_order_relaxed);
+}
+
+const char* crc32_kernel_name(CrcKernel k) noexcept {
+  switch (k) {
+    case CrcKernel::kSlice8:
+      return "slice8";
+    case CrcKernel::kPclmul:
+      return "pclmul";
+    case CrcKernel::kArmCrc:
+      return "armv8-crc";
+  }
+  return "unknown";
+}
+
+bool crc32_kernel_available(CrcKernel k) noexcept {
+  switch (k) {
+    case CrcKernel::kSlice8:
+      return true;
+    case CrcKernel::kPclmul:
+      return crc_detail::pclmul_supported();
+    case CrcKernel::kArmCrc:
+      return crc_detail::armcrc_supported();
+  }
+  return false;
+}
+
+bool crc32_set_kernel(CrcKernel k) noexcept {
+  if (!crc32_kernel_available(k)) return false;
+  g_kernel.store(kernel_fn(k), std::memory_order_relaxed);
+  g_kernel_id.store(k, std::memory_order_relaxed);
+  return true;
+}
+
+CrcKernel crc32_select_default_kernel() noexcept {
+  CrcKernel pick = best_hw_kernel();
+  if (const char* env = std::getenv("ICKPT_CRC_IMPL")) {
+    if (std::strcmp(env, "soft") == 0) {
+      pick = CrcKernel::kSlice8;
+    } else if (std::strcmp(env, "hw") == 0) {
+      // Prefer hardware; soft-only hosts keep the fallback (the
+      // override exists for testing, not for making CRCs impossible).
+      pick = best_hw_kernel();
+    }
+    // "auto", empty or unknown values keep the detected default.
+  }
+  crc32_set_kernel(pick);
+  return pick;
 }
 
 }  // namespace ickpt

@@ -1,0 +1,206 @@
+// Hardware CRC-32 kernels (IEEE 802.3 polynomial, bit-reflected).
+//
+// Two kernels, both compiled with per-function target attributes so
+// the rest of the binary keeps the project's baseline ISA and the
+// dispatcher in crc32.cc can select at runtime:
+//
+//   pclmul — x86-64 carry-less-multiply folding per Intel's "Fast CRC
+//     Computation for Generic Polynomials Using PCLMULQDQ" paper:
+//     four 128-bit accumulators fold 64 input bytes per step, then a
+//     single-register 16-byte fold, a 128→64 reduction and a Barrett
+//     reduction back to 32 bits.  The k-constants below are the
+//     paper's x^N mod P values for P = 0x104C11DB7 in the reflected
+//     domain (the same ones every production zlib derivative ships).
+//
+//   armcrc — the ARMv8 CRC32X/CRC32B instructions, which implement
+//     exactly this polynomial in the reflected domain, eight bytes per
+//     instruction.
+//
+// Both kernels take and return the register-domain state (pre-
+// inversion), accept any length/alignment, and delegate short heads
+// and tails to slice8 so callers never need size checks.
+#include "common/crc32_kernels.h"
+
+#if defined(__x86_64__) || defined(_M_X64)
+#define ICKPT_CRC32_X86 1
+#include <immintrin.h>
+#endif
+
+#if defined(__aarch64__) && defined(__linux__)
+#define ICKPT_CRC32_ARM 1
+#include <arm_acle.h>
+#include <sys/auxv.h>
+#if __has_include(<asm/hwcap.h>)
+#include <asm/hwcap.h>
+#endif
+#endif
+
+namespace ickpt::crc_detail {
+
+// ----------------------------------------------------------- x86-64
+
+#if defined(ICKPT_CRC32_X86)
+
+bool pclmul_supported() noexcept {
+  return __builtin_cpu_supports("pclmul") &&
+         __builtin_cpu_supports("sse4.1") != 0;
+}
+
+namespace {
+
+// Folding constants for the reflected IEEE polynomial:
+//   kFold512 = { x^(512+32) mod P, x^512 mod P }   (64-byte stride)
+//   kFold128 = { x^(128+32) mod P, x^128 mod P }   (16-byte stride)
+//   kFold64  = x^64 mod P                          (final 128→64)
+//   kBarrett = { P (full 33-bit form), mu = x^64 / P }
+alignas(16) constexpr std::uint64_t kFold512[2] = {0x0154442bd4,
+                                                   0x01c6e41596};
+alignas(16) constexpr std::uint64_t kFold128[2] = {0x01751997d0,
+                                                   0x00ccaa009e};
+alignas(16) constexpr std::uint64_t kFold64[2] = {0x0163cd6124, 0};
+alignas(16) constexpr std::uint64_t kBarrett[2] = {0x01db710641,
+                                                   0x01f7011641};
+
+/// Core fold: `len` must be >= 64 and a multiple of 16.
+__attribute__((target("pclmul,sse4.1"))) std::uint32_t pclmul_fold(
+    const unsigned char* p, std::size_t len, std::uint32_t state) noexcept {
+  const auto* buf = reinterpret_cast<const __m128i*>(p);
+
+  __m128i a = _mm_loadu_si128(buf + 0);
+  __m128i b = _mm_loadu_si128(buf + 1);
+  __m128i c = _mm_loadu_si128(buf + 2);
+  __m128i d = _mm_loadu_si128(buf + 3);
+  a = _mm_xor_si128(a, _mm_cvtsi32_si128(static_cast<int>(state)));
+  buf += 4;
+  len -= 64;
+
+  const __m128i k512 =
+      _mm_load_si128(reinterpret_cast<const __m128i*>(kFold512));
+  while (len >= 64) {
+    // Each accumulator advances 64 bytes: multiply its two halves by
+    // x^512 / x^544 and xor in the next 16 input bytes.
+    __m128i ta = _mm_clmulepi64_si128(a, k512, 0x00);
+    __m128i tb = _mm_clmulepi64_si128(b, k512, 0x00);
+    __m128i tc = _mm_clmulepi64_si128(c, k512, 0x00);
+    __m128i td = _mm_clmulepi64_si128(d, k512, 0x00);
+    a = _mm_clmulepi64_si128(a, k512, 0x11);
+    b = _mm_clmulepi64_si128(b, k512, 0x11);
+    c = _mm_clmulepi64_si128(c, k512, 0x11);
+    d = _mm_clmulepi64_si128(d, k512, 0x11);
+    a = _mm_xor_si128(_mm_xor_si128(a, ta), _mm_loadu_si128(buf + 0));
+    b = _mm_xor_si128(_mm_xor_si128(b, tb), _mm_loadu_si128(buf + 1));
+    c = _mm_xor_si128(_mm_xor_si128(c, tc), _mm_loadu_si128(buf + 2));
+    d = _mm_xor_si128(_mm_xor_si128(d, td), _mm_loadu_si128(buf + 3));
+    buf += 4;
+    len -= 64;
+  }
+
+  // Fold the four accumulators into one (16-byte stride constants).
+  const __m128i k128 =
+      _mm_load_si128(reinterpret_cast<const __m128i*>(kFold128));
+  __m128i t = _mm_clmulepi64_si128(a, k128, 0x00);
+  a = _mm_clmulepi64_si128(a, k128, 0x11);
+  a = _mm_xor_si128(_mm_xor_si128(a, t), b);
+  t = _mm_clmulepi64_si128(a, k128, 0x00);
+  a = _mm_clmulepi64_si128(a, k128, 0x11);
+  a = _mm_xor_si128(_mm_xor_si128(a, t), c);
+  t = _mm_clmulepi64_si128(a, k128, 0x00);
+  a = _mm_clmulepi64_si128(a, k128, 0x11);
+  a = _mm_xor_si128(_mm_xor_si128(a, t), d);
+
+  // Remaining whole 16-byte blocks.
+  while (len >= 16) {
+    t = _mm_clmulepi64_si128(a, k128, 0x00);
+    a = _mm_clmulepi64_si128(a, k128, 0x11);
+    a = _mm_xor_si128(_mm_xor_si128(a, t), _mm_loadu_si128(buf));
+    ++buf;
+    len -= 16;
+  }
+
+  // 128 → 64 bits.
+  const __m128i mask32 = _mm_setr_epi32(~0, 0, ~0, 0);
+  t = _mm_clmulepi64_si128(a, k128, 0x10);
+  a = _mm_srli_si128(a, 8);
+  a = _mm_xor_si128(a, t);
+  const __m128i k64 =
+      _mm_loadl_epi64(reinterpret_cast<const __m128i*>(kFold64));
+  t = _mm_srli_si128(a, 4);
+  a = _mm_and_si128(a, mask32);
+  a = _mm_clmulepi64_si128(a, k64, 0x00);
+  a = _mm_xor_si128(a, t);
+
+  // Barrett reduction 64 → 32 bits.
+  const __m128i br =
+      _mm_load_si128(reinterpret_cast<const __m128i*>(kBarrett));
+  t = _mm_and_si128(a, mask32);
+  t = _mm_clmulepi64_si128(t, br, 0x10);
+  t = _mm_and_si128(t, mask32);
+  t = _mm_clmulepi64_si128(t, br, 0x00);
+  a = _mm_xor_si128(a, t);
+  return static_cast<std::uint32_t>(_mm_extract_epi32(a, 1));
+}
+
+}  // namespace
+
+std::uint32_t pclmul(const unsigned char* p, std::size_t len,
+                     std::uint32_t state) noexcept {
+  if (len >= 64) {
+    const std::size_t folded = len & ~std::size_t{15};
+    state = pclmul_fold(p, folded, state);
+    p += folded;
+    len -= folded;
+  }
+  return slice8(p, len, state);
+}
+
+#else  // !ICKPT_CRC32_X86
+
+bool pclmul_supported() noexcept { return false; }
+std::uint32_t pclmul(const unsigned char* p, std::size_t len,
+                     std::uint32_t state) noexcept {
+  return slice8(p, len, state);
+}
+
+#endif
+
+// ------------------------------------------------------------ ARMv8
+
+#if defined(ICKPT_CRC32_ARM) && defined(HWCAP_CRC32)
+
+bool armcrc_supported() noexcept {
+  return (::getauxval(AT_HWCAP) & HWCAP_CRC32) != 0;
+}
+
+namespace {
+
+__attribute__((target("+crc"))) std::uint32_t armcrc_run(
+    const unsigned char* p, std::size_t len, std::uint32_t state) noexcept {
+  while (len >= 8) {
+    std::uint64_t w;
+    __builtin_memcpy(&w, p, 8);
+    state = __crc32d(state, w);
+    p += 8;
+    len -= 8;
+  }
+  while (len-- > 0) state = __crc32b(state, *p++);
+  return state;
+}
+
+}  // namespace
+
+std::uint32_t armcrc(const unsigned char* p, std::size_t len,
+                     std::uint32_t state) noexcept {
+  return armcrc_run(p, len, state);
+}
+
+#else  // !ICKPT_CRC32_ARM
+
+bool armcrc_supported() noexcept { return false; }
+std::uint32_t armcrc(const unsigned char* p, std::size_t len,
+                     std::uint32_t state) noexcept {
+  return slice8(p, len, state);
+}
+
+#endif
+
+}  // namespace ickpt::crc_detail

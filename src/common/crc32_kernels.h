@@ -1,0 +1,36 @@
+// Internal: raw CRC-32 bulk kernels behind the dispatch in crc32.cc.
+//
+// Every kernel advances a *register-domain* CRC state (the
+// pre-inversion value Crc32 keeps internally) over `len` bytes and
+// returns the new state.  Kernels accept any length and alignment —
+// the hardware ones delegate short heads/tails to slice8 internally —
+// so the dispatcher is a single indirect call with no size checks.
+//
+// Not installed / not part of the public surface: include only from
+// crc32*.cc and the kernel cross-check test.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace ickpt::crc_detail {
+
+using KernelFn = std::uint32_t (*)(const unsigned char* p, std::size_t len,
+                                   std::uint32_t state) noexcept;
+
+/// Table-driven slice-by-8 (always compiled, every platform).
+std::uint32_t slice8(const unsigned char* p, std::size_t len,
+                     std::uint32_t state) noexcept;
+
+/// x86-64 PCLMULQDQ folding kernel.  Compiled with a per-function
+/// target attribute; call only when pclmul_supported().
+bool pclmul_supported() noexcept;
+std::uint32_t pclmul(const unsigned char* p, std::size_t len,
+                     std::uint32_t state) noexcept;
+
+/// ARMv8 CRC32-instruction kernel; call only when armcrc_supported().
+bool armcrc_supported() noexcept;
+std::uint32_t armcrc(const unsigned char* p, std::size_t len,
+                     std::uint32_t state) noexcept;
+
+}  // namespace ickpt::crc_detail

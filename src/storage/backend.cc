@@ -1,10 +1,15 @@
 #include "storage/backend.h"
 
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <unistd.h>
+
 #include <algorithm>
 #include <atomic>
 #include <cerrno>
 #include <chrono>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <filesystem>
 #include <fstream>
@@ -21,6 +26,67 @@ namespace fs = std::filesystem;
 // ------------------------------------------------------------------- file
 
 namespace {
+
+/// Direct-I/O observability: fallbacks (O_DIRECT refused — probe
+/// failure or a mid-stream EINVAL) and writers that ran direct.
+struct DirectIoMetrics {
+  obs::Counter& fallbacks;
+  obs::Counter& writers;
+
+  static DirectIoMetrics& get() {
+    auto& r = obs::registry();
+    static DirectIoMetrics m{r.counter("storage.direct_io_fallback"),
+                             r.counter("storage.direct_io_writers")};
+    return m;
+  }
+};
+
+/// Block-aligned heap buffer for O_DIRECT staging.
+class AlignedBuf {
+ public:
+  AlignedBuf(std::size_t alignment, std::size_t size) {
+    if (::posix_memalign(&p_, alignment, size) != 0) p_ = nullptr;
+  }
+  ~AlignedBuf() { std::free(p_); }
+  AlignedBuf(const AlignedBuf&) = delete;
+  AlignedBuf& operator=(const AlignedBuf&) = delete;
+
+  unsigned char* data() noexcept { return static_cast<unsigned char*>(p_); }
+
+ private:
+  void* p_ = nullptr;
+};
+
+/// Probe the logical block size O_DIRECT needs under `dir`: open a
+/// scratch file with O_DIRECT and try a 512-byte, then a 4-KiB
+/// aligned write.  Returns the smallest size that works, or 0 when
+/// the filesystem refuses direct I/O outright (tmpfs and some overlay
+/// mounts fail the open or every write with EINVAL).  Called once per
+/// backend directory; the result is cached by FileBackend.
+std::size_t probe_direct_block_size(const fs::path& dir) {
+  const fs::path probe = dir / ".ickpt-dio-probe.tmp";
+  int fd = ::open(probe.c_str(),
+                  O_WRONLY | O_CREAT | O_TRUNC | O_DIRECT | O_CLOEXEC, 0644);
+  std::size_t found = 0;
+  if (fd >= 0) {
+    AlignedBuf buf(4096, 4096);  // 4 KiB alignment satisfies both probes
+    if (buf.data() != nullptr) {
+      std::memset(buf.data(), 0, 4096);
+      for (std::size_t cand : {std::size_t{512}, std::size_t{4096}}) {
+        if (::pwrite(fd, buf.data(), cand, 0) ==
+            static_cast<ssize_t>(cand)) {
+          found = cand;
+          break;
+        }
+        if (errno != EINVAL) break;
+      }
+    }
+    ::close(fd);
+  }
+  std::error_code ec;
+  fs::remove(probe, ec);
+  return found;
+}
 
 class FileWriter final : public Writer {
  public:
@@ -66,10 +132,146 @@ class FileWriter final : public Writer {
   std::atomic<std::uint64_t>* total_;
 };
 
+/// O_DIRECT writer: payload accumulates in a block-aligned staging
+/// buffer and leaves in whole-buffer direct writes; close() writes the
+/// remaining full blocks direct, then drops O_DIRECT (fcntl) for the
+/// sub-block tail, so arbitrary object sizes need no padding and the
+/// on-disk bytes are identical to the buffered writer's.  Any EINVAL
+/// mid-stream (stale probe, filesystem boundary) permanently downgrades
+/// this writer to buffered writes on the same fd — transparent to the
+/// caller, counted in storage.direct_io_fallback.
+class DirectFileWriter final : public Writer {
+ public:
+  /// 1 MiB staging: large enough to amortize syscalls, a multiple of
+  /// every probe-able block size.
+  static constexpr std::size_t kStageSize = 1u << 20;
+
+  DirectFileWriter(fs::path tmp, fs::path final_path, std::size_t block,
+                   std::atomic<std::uint64_t>* total)
+      : tmp_(std::move(tmp)),
+        final_(std::move(final_path)),
+        total_(total),
+        block_(block),
+        stage_(block, kStageSize) {
+    fd_ = ::open(tmp_.c_str(),
+                 O_WRONLY | O_CREAT | O_TRUNC | O_DIRECT | O_CLOEXEC, 0644);
+    if (fd_ < 0 && errno == EINVAL) {
+      // The probe said yes but this file says no (e.g. a bind mount
+      // inside the directory): degrade instead of failing the write.
+      DirectIoMetrics::get().fallbacks.inc();
+      direct_ = false;
+      fd_ = ::open(tmp_.c_str(), O_WRONLY | O_CREAT | O_TRUNC | O_CLOEXEC,
+                   0644);
+    }
+    if (direct_) DirectIoMetrics::get().writers.inc();
+  }
+
+  ~DirectFileWriter() override {
+    if (!closed_) {
+      if (fd_ >= 0) ::close(fd_);
+      std::error_code ec;
+      fs::remove(tmp_, ec);  // abort: discard partial object
+    }
+  }
+
+  Status write(std::span<const std::byte> data) override {
+    if (closed_) return failed_precondition("write after close");
+    if (fd_ < 0 || stage_.data() == nullptr) {
+      return io_error("direct writer open failed: " + tmp_.string());
+    }
+    const auto* src = reinterpret_cast<const unsigned char*>(data.data());
+    std::size_t left = data.size();
+    while (left > 0) {
+      const std::size_t n = std::min(left, kStageSize - fill_);
+      std::memcpy(stage_.data() + fill_, src, n);
+      fill_ += n;
+      src += n;
+      left -= n;
+      if (fill_ == kStageSize) {
+        ICKPT_RETURN_IF_ERROR(drain(kStageSize));
+      }
+    }
+    bytes_ += data.size();
+    return Status::ok();
+  }
+
+  Status close() override {
+    if (closed_) return Status::ok();
+    if (fd_ < 0) return io_error("direct writer open failed: " + tmp_.string());
+    // Full blocks leave direct; the tail needs the flag off.
+    const std::size_t full = fill_ - fill_ % block_;
+    if (full > 0) ICKPT_RETURN_IF_ERROR(drain(full));
+    if (fill_ > 0) {
+      drop_direct();
+      ICKPT_RETURN_IF_ERROR(drain(fill_));
+    }
+    if (::close(fd_) != 0) {
+      fd_ = -1;
+      return io_error("close failed: " + tmp_.string());
+    }
+    fd_ = -1;
+    std::error_code ec;
+    fs::rename(tmp_, final_, ec);
+    if (ec) return io_error("rename failed: " + ec.message());
+    closed_ = true;
+    total_->fetch_add(bytes_, std::memory_order_relaxed);
+    return Status::ok();
+  }
+
+  std::uint64_t bytes_written() const noexcept override { return bytes_; }
+
+ private:
+  /// Write the first `n` staged bytes at the current file offset.  On
+  /// EINVAL in direct mode, downgrade to buffered and retry.
+  Status drain(std::size_t n) {
+    std::size_t done = 0;
+    while (done < n) {
+      ssize_t got = ::write(fd_, stage_.data() + done, n - done);
+      if (got < 0) {
+        if (errno == EINTR) continue;
+        if (errno == EINVAL && direct_) {
+          DirectIoMetrics::get().fallbacks.inc();
+          drop_direct();
+          continue;
+        }
+        return io_error("file write failed: " + tmp_.string());
+      }
+      done += static_cast<std::size_t>(got);
+    }
+    // Shift any remainder (only on the close() tail path, where a
+    // partial drain never happens mid-buffer) and reset the fill.
+    if (n < fill_) std::memmove(stage_.data(), stage_.data() + n, fill_ - n);
+    fill_ -= n;
+    return Status::ok();
+  }
+
+  void drop_direct() {
+    if (!direct_) return;
+    direct_ = false;
+    const int flags = ::fcntl(fd_, F_GETFL);
+    if (flags >= 0) ::fcntl(fd_, F_SETFL, flags & ~O_DIRECT);
+  }
+
+  fs::path tmp_, final_;
+  std::atomic<std::uint64_t>* total_;
+  std::size_t block_;
+  AlignedBuf stage_;
+  std::size_t fill_ = 0;
+  std::uint64_t bytes_ = 0;
+  int fd_ = -1;
+  bool direct_ = true;
+  bool closed_ = false;
+};
+
 class FileReader final : public Reader {
  public:
-  explicit FileReader(const fs::path& path) : size_(fs::file_size(path)) {
+  explicit FileReader(const fs::path& path)
+      : path_(path), size_(fs::file_size(path)) {
     is_.open(path, std::ios::binary);
+  }
+
+  ~FileReader() override {
+    if (map_ != nullptr) ::munmap(map_, static_cast<std::size_t>(size_));
   }
   Result<std::size_t> read(std::span<std::byte> out) override {
     is_.read(reinterpret_cast<char*>(out.data()),
@@ -91,16 +293,42 @@ class FileReader final : public Reader {
     if (got == 0 && !is_.eof()) return io_error("file read failed");
     return got;
   }
+
+  bool supports_map() const noexcept override { return true; }
+  Result<std::span<const std::byte>> map_at(std::uint64_t offset,
+                                            std::size_t length) override {
+    if (length == 0) return std::span<const std::byte>{};
+    if (offset > size_ || length > size_ - offset) {
+      return corruption("map_at past end of object: " + path_.string());
+    }
+    if (map_ == nullptr) {
+      int fd = ::open(path_.c_str(), O_RDONLY | O_CLOEXEC);
+      if (fd < 0) return io_error("open for mmap failed: " + path_.string());
+      void* m = ::mmap(nullptr, static_cast<std::size_t>(size_), PROT_READ,
+                       MAP_PRIVATE, fd, 0);
+      ::close(fd);
+      if (m == MAP_FAILED) {
+        return io_error("mmap failed: " + path_.string());
+      }
+      map_ = m;
+    }
+    return std::span<const std::byte>{
+        static_cast<const std::byte*>(map_) + offset, length};
+  }
+
   std::uint64_t size() const noexcept override { return size_; }
 
  private:
+  fs::path path_;
   std::ifstream is_;
   std::uint64_t size_;
+  void* map_ = nullptr;  ///< whole-object mmap, created on first map_at
 };
 
 class FileBackend final : public StorageBackend {
  public:
-  explicit FileBackend(fs::path dir) : dir_(std::move(dir)) {}
+  FileBackend(fs::path dir, FileBackendOptions options)
+      : dir_(std::move(dir)), options_(options) {}
 
   Result<std::unique_ptr<Writer>> create(const std::string& key) override {
     fs::path final_path = dir_ / key;
@@ -108,6 +336,14 @@ class FileBackend final : public StorageBackend {
     fs::create_directories(final_path.parent_path(), ec);
     fs::path tmp = final_path;
     tmp += ".tmp";
+    if (options_.direct_io) {
+      const std::size_t block = direct_block_size();
+      if (block > 0) {
+        return std::unique_ptr<Writer>(
+            new DirectFileWriter(tmp, final_path, block, &total_));
+      }
+      // Probe said no (counted once, below): buffered writes.
+    }
     auto w = std::make_unique<FileWriter>(tmp, final_path, &total_);
     return std::unique_ptr<Writer>(std::move(w));
   }
@@ -150,7 +386,22 @@ class FileBackend final : public StorageBackend {
   }
 
  private:
+  /// The O_DIRECT logical block size for this backend's directory,
+  /// probed on the first direct writer and cached (0 = unsupported).
+  /// One probe per directory, not per write: the answer is a property
+  /// of the filesystem under `dir_`.
+  std::size_t direct_block_size() {
+    std::call_once(probe_once_, [this] {
+      probed_block_ = probe_direct_block_size(dir_);
+      if (probed_block_ == 0) DirectIoMetrics::get().fallbacks.inc();
+    });
+    return probed_block_;
+  }
+
   fs::path dir_;
+  FileBackendOptions options_;
+  std::once_flag probe_once_;
+  std::size_t probed_block_ = 0;
   std::atomic<std::uint64_t> total_{0};
 };
 
@@ -158,10 +409,15 @@ class FileBackend final : public StorageBackend {
 
 Result<std::unique_ptr<StorageBackend>> make_file_backend(
     const std::string& directory) {
+  return make_file_backend(directory, FileBackendOptions{});
+}
+
+Result<std::unique_ptr<StorageBackend>> make_file_backend(
+    const std::string& directory, const FileBackendOptions& options) {
   std::error_code ec;
   fs::create_directories(directory, ec);
   if (ec) return io_error("cannot create " + directory + ": " + ec.message());
-  return std::unique_ptr<StorageBackend>(new FileBackend(directory));
+  return std::unique_ptr<StorageBackend>(new FileBackend(directory, options));
 }
 
 // ----------------------------------------------------------------- memory
@@ -226,6 +482,17 @@ class MemoryReader final : public Reader {
                                             data_->size() - offset);
     std::memcpy(out.data(), data_->data() + offset, n);
     return n;
+  }
+  bool supports_map() const noexcept override { return true; }
+  Result<std::span<const std::byte>> map_at(std::uint64_t offset,
+                                            std::size_t length) override {
+    if (length == 0) return std::span<const std::byte>{};
+    if (offset > data_->size() || length > data_->size() - offset) {
+      return corruption("map_at past end of object");
+    }
+    // The reader shares ownership of the immutable buffer, so the
+    // view outlives concurrent removes of the key.
+    return std::span<const std::byte>{data_->data() + offset, length};
   }
   std::uint64_t size() const noexcept override { return data_->size(); }
 

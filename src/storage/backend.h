@@ -58,6 +58,24 @@ class Reader {
     (void)out;
     return unsupported("read_at not supported by this backend");
   }
+
+  /// True when map_at() is implemented.
+  virtual bool supports_map() const noexcept { return false; }
+
+  /// Zero-copy view of exactly [offset, offset+length) of the object.
+  /// The span stays valid until the Reader is destroyed; the object is
+  /// immutable, so callers may hold it across decode.  File-backed
+  /// readers serve this from one lazily created read-only mmap of the
+  /// whole object (payload decode then reads mapped pages instead of
+  /// read()+memcpy); memory-backed readers return a view of the stored
+  /// buffer.  Ranges past EOF are kCorruption (the caller planned them
+  /// from the object's own structure, so a short object is damage).
+  virtual Result<std::span<const std::byte>> map_at(std::uint64_t offset,
+                                                    std::size_t length) {
+    (void)offset;
+    (void)length;
+    return unsupported("map_at not supported by this backend");
+  }
 };
 
 class StorageBackend {
@@ -74,11 +92,26 @@ class StorageBackend {
   virtual std::uint64_t total_bytes_stored() const noexcept = 0;
 };
 
+struct FileBackendOptions {
+  /// Write objects with O_DIRECT through an aligned staging buffer,
+  /// bypassing the page cache (the encode pipeline emits full-object
+  /// buffers, so writes are large and sequential — ideal direct-I/O
+  /// shape).  The filesystem's logical block size is probed once per
+  /// backend directory (512 B, then 4 KiB); filesystems that refuse
+  /// O_DIRECT (tmpfs, some overlayfs) fall back transparently to
+  /// buffered writes and increment the storage.direct_io_fallback
+  /// counter.  close()/rename visibility and flush() durability
+  /// semantics are identical in both modes.
+  bool direct_io = false;
+};
+
 /// Files under a directory; keys may contain '/' (subdirectories are
 /// created on demand).  Writes go to a ".tmp" sibling and are renamed
 /// on close so a crash never leaves a half-visible checkpoint.
 Result<std::unique_ptr<StorageBackend>> make_file_backend(
     const std::string& directory);
+Result<std::unique_ptr<StorageBackend>> make_file_backend(
+    const std::string& directory, const FileBackendOptions& options);
 
 /// In-memory objects (thread-safe).
 std::unique_ptr<StorageBackend> make_memory_backend();

@@ -5,6 +5,7 @@
 #include <gtest/gtest.h>
 
 #include <cstring>
+#include <filesystem>
 #include <map>
 
 #include "checkpoint/checkpointer.h"
@@ -142,18 +143,75 @@ TEST_P(CheckpointFuzzTest, EverySequenceRestoresExactly) {
     expect_state_matches(*reference, truth, seq);
 
     for (int threads : {1, 4}) {
-      RestoreOptions ropts;
-      ropts.upto = seq;
-      ropts.decode_threads = threads;
-      auto state = restore_chain(*storage, 0, ropts);
-      ASSERT_TRUE(state.is_ok())
-          << "seq " << seq << " (threads " << threads
-          << "): " << state.status().to_string();
-      EXPECT_EQ(state->sequence, seq);
-      expect_state_matches(*state, truth, seq);
-      EXPECT_EQ(state->virtual_time, reference->virtual_time);
+      for (bool map_reads : {false, true}) {
+        RestoreOptions ropts;
+        ropts.upto = seq;
+        ropts.decode_threads = threads;
+        ropts.map_reads = map_reads;
+        auto state = restore_chain(*storage, 0, ropts);
+        ASSERT_TRUE(state.is_ok())
+            << "seq " << seq << " (threads " << threads << ", map "
+            << map_reads << "): " << state.status().to_string();
+        EXPECT_EQ(state->sequence, seq);
+        expect_state_matches(*state, truth, seq);
+        EXPECT_EQ(state->virtual_time, reference->virtual_time);
+      }
     }
   }
+}
+
+TEST(CheckpointFuzzTest, FileBackedMapReadsMatchBufferedReads) {
+  // Same invariant against a real file backend, where map_reads decodes
+  // from an actual read-only mmap of each object: mapped and buffered
+  // restores must be byte-identical to the serial reference.
+  const std::string dir = ::testing::TempDir() + "/ickpt_fuzz_map_test";
+  std::filesystem::remove_all(dir);
+
+  Rng rng(99);
+  ExplicitEngine engine;
+  AddressSpace space(engine, "fuzzmap");
+  auto storage = storage::make_file_backend(dir);
+  ASSERT_TRUE(storage.is_ok());
+  CheckpointerOptions opts;
+  opts.full_every = 3;
+  opts.compress = true;
+  auto ckpt = Checkpointer::create(space, storage->get(), opts).value();
+
+  auto ref = space.map(16 * page_size(), AreaKind::kHeap, "blk");
+  ASSERT_TRUE(ref.is_ok());
+  ASSERT_TRUE(engine.arm().is_ok());
+
+  std::map<std::uint64_t, Shadow> truth_at;
+  for (int step = 0; step < 8; ++step) {
+    auto span = space.block_span(ref->id);
+    ASSERT_TRUE(span.is_ok());
+    std::size_t first = rng.next_index(16);
+    auto* base = span->data() + first * page_size();
+    for (std::size_t i = 0; i < page_size(); i += 8) {
+      std::uint64_t v = rng.next_u64();
+      std::memcpy(base + i, &v, 8);
+    }
+    engine.note_write(base, page_size());
+    auto snap = engine.collect(true);
+    ASSERT_TRUE(snap.is_ok());
+    auto meta = ckpt->checkpoint_incremental(*snap, step);
+    ASSERT_TRUE(meta.is_ok());
+    truth_at[meta->sequence] = snapshot_space(space);
+  }
+
+  for (const auto& [seq, truth] : truth_at) {
+    for (bool map_reads : {false, true}) {
+      RestoreOptions ropts;
+      ropts.upto = seq;
+      ropts.map_reads = map_reads;
+      auto state = restore_chain(**storage, 0, ropts);
+      ASSERT_TRUE(state.is_ok())
+          << "seq " << seq << " (map " << map_reads
+          << "): " << state.status().to_string();
+      expect_state_matches(*state, truth, seq);
+    }
+  }
+  std::filesystem::remove_all(dir);
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, CheckpointFuzzTest,

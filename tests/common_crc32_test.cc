@@ -155,6 +155,153 @@ TEST(Crc32CombineTest, StreamingCombineMatchesUpdate) {
   EXPECT_EQ(via_combine.value(), via_update.value());
 }
 
+/// Swap the process-wide CRC kernel for one test, restoring on exit.
+class ScopedKernel {
+ public:
+  explicit ScopedKernel(CrcKernel k) : prev_(crc32_active_kernel()) {
+    ok_ = crc32_set_kernel(k);
+  }
+  ~ScopedKernel() { crc32_set_kernel(prev_); }
+  bool ok() const { return ok_; }
+
+ private:
+  CrcKernel prev_;
+  bool ok_ = false;
+};
+
+std::vector<CrcKernel> available_hw_kernels() {
+  std::vector<CrcKernel> out;
+  for (CrcKernel k : {CrcKernel::kPclmul, CrcKernel::kArmCrc}) {
+    if (crc32_kernel_available(k)) out.push_back(k);
+  }
+  return out;
+}
+
+TEST(Crc32KernelTest, Slice8AlwaysAvailable) {
+  EXPECT_TRUE(crc32_kernel_available(CrcKernel::kSlice8));
+  EXPECT_STREQ(crc32_kernel_name(CrcKernel::kSlice8), "slice8");
+}
+
+TEST(Crc32KernelTest, SetUnavailableKernelIsRefused) {
+  const CrcKernel before = crc32_active_kernel();
+  for (CrcKernel k : {CrcKernel::kPclmul, CrcKernel::kArmCrc}) {
+    if (crc32_kernel_available(k)) continue;
+    EXPECT_FALSE(crc32_set_kernel(k)) << crc32_kernel_name(k);
+    EXPECT_EQ(crc32_active_kernel(), before)
+        << "refused set must leave the active kernel alone";
+  }
+}
+
+TEST(Crc32KernelTest, DefaultSelectionFallsBackWithoutHardware) {
+  // On hosts with no usable CRC hardware, auto selection must land on
+  // the portable kernel (the ISSUE's soft-only acceptance check).
+  if (!available_hw_kernels().empty()) {
+    GTEST_SKIP() << "host has hardware CRC; fallback path not reachable";
+  }
+  EXPECT_EQ(crc32_select_default_kernel(), CrcKernel::kSlice8);
+}
+
+TEST(Crc32KernelTest, HardwareMatchesSoftRandomized) {
+  // Every available hardware kernel must produce bit-identical CRCs to
+  // slice-by-8 over randomized lengths (0..4 KiB) and unaligned
+  // starting offsets — covering the <64 B delegation path, the 16-byte
+  // fold granularity, and odd tails.
+  const auto hw = available_hw_kernels();
+  if (hw.empty()) GTEST_SKIP() << "no hardware CRC kernel on this host";
+
+  Rng rng(6);
+  std::vector<std::byte> data(4096 + 64);
+  for (auto& b : data) b = static_cast<std::byte>(rng.next_u64() & 0xff);
+
+  std::vector<std::pair<std::size_t, std::size_t>> cases;
+  for (std::size_t len :
+       {0u, 1u, 15u, 16u, 63u, 64u, 65u, 127u, 128u, 1000u, 4096u}) {
+    for (std::size_t align : {0u, 1u, 3u, 7u, 13u}) cases.push_back({len, align});
+  }
+  for (int trial = 0; trial < 64; ++trial) {
+    cases.push_back({rng.next_index(4097), rng.next_index(64)});
+  }
+
+  for (CrcKernel k : hw) {
+    for (auto [len, align] : cases) {
+      std::span<const std::byte> view{data.data() + align, len};
+      std::uint32_t soft, fast;
+      {
+        ScopedKernel s(CrcKernel::kSlice8);
+        ASSERT_TRUE(s.ok());
+        soft = crc32(view);
+      }
+      {
+        ScopedKernel s(k);
+        ASSERT_TRUE(s.ok());
+        fast = crc32(view);
+      }
+      EXPECT_EQ(fast, soft) << crc32_kernel_name(k) << " len=" << len
+                            << " align=" << align;
+    }
+  }
+}
+
+TEST(Crc32KernelTest, CombineStitchesAcrossKernelBoundaries) {
+  // The shard stitcher may fold CRCs computed by different kernels
+  // (e.g. a process that flips ICKPT_CRC_IMPL between runs, or mixed
+  // fleets).  combine() must be oblivious to which kernel hashed each
+  // piece.
+  const auto hw = available_hw_kernels();
+  if (hw.empty()) GTEST_SKIP() << "no hardware CRC kernel on this host";
+
+  Rng rng(7);
+  std::vector<std::byte> data(8192);
+  for (auto& b : data) b = static_cast<std::byte>(rng.next_u64() & 0xff);
+
+  std::uint32_t whole_soft;
+  {
+    ScopedKernel s(CrcKernel::kSlice8);
+    whole_soft = crc32(data);
+  }
+  for (CrcKernel k : hw) {
+    for (std::size_t split : {0u, 1u, 100u, 4096u, 8191u, 8192u}) {
+      std::uint32_t a, b;
+      {
+        ScopedKernel s(CrcKernel::kSlice8);
+        a = crc32({data.data(), split});
+      }
+      {
+        ScopedKernel s(k);
+        b = crc32({data.data() + split, data.size() - split});
+        EXPECT_EQ(crc32(data), whole_soft) << crc32_kernel_name(k);
+      }
+      EXPECT_EQ(crc32_combine(a, b, data.size() - split), whole_soft)
+          << crc32_kernel_name(k) << " split=" << split;
+    }
+  }
+}
+
+TEST(Crc32KernelTest, IncrementalUpdatesSpanKernelSwitch) {
+  // A Crc32 accumulator whose update() calls straddle a kernel switch
+  // must still match the one-shot value: kernel state is plain CRC
+  // state, never kernel-private.
+  const auto hw = available_hw_kernels();
+  if (hw.empty()) GTEST_SKIP() << "no hardware CRC kernel on this host";
+
+  Rng rng(8);
+  std::vector<std::byte> data(5000);
+  for (auto& b : data) b = static_cast<std::byte>(rng.next_u64() & 0xff);
+
+  for (CrcKernel k : hw) {
+    Crc32 inc;
+    {
+      ScopedKernel s(CrcKernel::kSlice8);
+      inc.update({data.data(), 1234});
+    }
+    {
+      ScopedKernel s(k);
+      inc.update({data.data() + 1234, data.size() - 1234});
+    }
+    EXPECT_EQ(inc.value(), crc32(data)) << crc32_kernel_name(k);
+  }
+}
+
 TEST(Crc32Test, SingleBitFlipChangesValue) {
   std::vector<std::byte> data(4096, std::byte{0x7f});
   auto base = crc32(data);

@@ -5,6 +5,8 @@
 #include <cstring>
 #include <filesystem>
 
+#include "obs/metrics.h"
+
 namespace ickpt::storage {
 namespace {
 
@@ -182,6 +184,108 @@ TEST(FaultyBackendTest, BudgetSharedAcrossWriters) {
   ASSERT_TRUE(w2.is_ok());
   ASSERT_TRUE((*w1)->write(as_bytes("1234")).is_ok());
   EXPECT_EQ((*w2)->write(as_bytes("1234")).code(), ErrorCode::kIoError);
+}
+
+TEST(ReaderMapTest, MemoryReaderServesZeroCopyViews) {
+  auto backend = make_memory_backend();
+  auto w = backend->create("obj");
+  ASSERT_TRUE(w.is_ok());
+  ASSERT_TRUE((*w)->write(as_bytes("0123456789")).is_ok());
+  ASSERT_TRUE((*w)->close().is_ok());
+
+  auto r = backend->open("obj");
+  ASSERT_TRUE(r.is_ok());
+  EXPECT_TRUE((*r)->supports_map());
+  auto view = (*r)->map_at(2, 5);
+  ASSERT_TRUE(view.is_ok());
+  EXPECT_EQ(std::string(reinterpret_cast<const char*>(view->data()),
+                        view->size()),
+            "23456");
+  // Zero-length views are fine at any offset (no bytes touched).
+  auto empty = (*r)->map_at(10, 0);
+  ASSERT_TRUE(empty.is_ok());
+  EXPECT_TRUE(empty->empty());
+  // Nonempty past-EOF ranges are corruption: the caller planned them
+  // from the object's own structure.
+  EXPECT_EQ((*r)->map_at(6, 5).status().code(), ErrorCode::kCorruption);
+}
+
+TEST(ReaderMapTest, FileReaderMapMatchesRead) {
+  std::string dir = ::testing::TempDir() + "/ickpt_map_test";
+  auto backend = make_file_backend(dir);
+  ASSERT_TRUE(backend.is_ok());
+  std::string payload;
+  for (int i = 0; i < 1000; ++i) payload += "block" + std::to_string(i);
+  auto w = (*backend)->create("obj");
+  ASSERT_TRUE(w.is_ok());
+  ASSERT_TRUE((*w)->write(as_bytes(payload)).is_ok());
+  ASSERT_TRUE((*w)->close().is_ok());
+
+  auto r = (*backend)->open("obj");
+  ASSERT_TRUE(r.is_ok());
+  EXPECT_TRUE((*r)->supports_map());
+  // Whole object and interior windows agree byte-for-byte with read().
+  auto whole = (*r)->map_at(0, payload.size());
+  ASSERT_TRUE(whole.is_ok());
+  EXPECT_EQ(std::memcmp(whole->data(), payload.data(), payload.size()), 0);
+  auto window = (*r)->map_at(17, 4000);
+  ASSERT_TRUE(window.is_ok());
+  EXPECT_EQ(std::memcmp(window->data(), payload.data() + 17, 4000), 0);
+  // Views from the same reader alias one mapping and stay valid
+  // together.
+  EXPECT_EQ(whole->data() + 17, window->data());
+  EXPECT_EQ((*r)->map_at(payload.size(), 1).status().code(),
+            ErrorCode::kCorruption);
+  std::filesystem::remove_all(dir);
+}
+
+TEST(DirectIoTest, FallsBackWhenFilesystemRefusesODirect) {
+  // TempDir is tmpfs in most CI containers, which rejects O_DIRECT —
+  // the backend must degrade to buffered writes, count the fallback,
+  // and produce byte-identical objects.  On filesystems that do accept
+  // O_DIRECT the same assertions hold with zero fallback increments.
+  std::string dir = ::testing::TempDir() + "/ickpt_dio_test";
+  auto& fallbacks = obs::registry().counter("storage.direct_io_fallback");
+  const std::uint64_t before = fallbacks.value();
+
+  FileBackendOptions options;
+  options.direct_io = true;
+  auto backend = make_file_backend(dir, options);
+  ASSERT_TRUE(backend.is_ok());
+
+  std::string payload(1 << 20, 'x');
+  for (std::size_t i = 0; i < payload.size(); i += 7) payload[i] = 'y';
+  payload += "unaligned tail";  // forces the sub-block drop-direct path
+  auto w = (*backend)->create("obj");
+  ASSERT_TRUE(w.is_ok());
+  ASSERT_TRUE((*w)->write(as_bytes(payload)).is_ok());
+  ASSERT_TRUE((*w)->close().is_ok());
+  EXPECT_EQ(read_all(**backend, "obj"), payload);
+  EXPECT_EQ((*backend)->total_bytes_stored(), payload.size());
+
+  // The probe runs once per backend directory: a second writer must
+  // not add another fallback increment.
+  auto w2 = (*backend)->create("obj2");
+  ASSERT_TRUE(w2.is_ok());
+  ASSERT_TRUE((*w2)->write(as_bytes("tiny")).is_ok());
+  ASSERT_TRUE((*w2)->close().is_ok());
+  const std::uint64_t after = fallbacks.value();
+  EXPECT_LE(after - before, 1u);
+  std::filesystem::remove_all(dir);
+}
+
+TEST(DirectIoTest, BufferedModeNeverTouchesFallbackCounter) {
+  std::string dir = ::testing::TempDir() + "/ickpt_dio_off_test";
+  auto& fallbacks = obs::registry().counter("storage.direct_io_fallback");
+  const std::uint64_t before = fallbacks.value();
+  auto backend = make_file_backend(dir);  // direct_io defaults off
+  ASSERT_TRUE(backend.is_ok());
+  auto w = (*backend)->create("obj");
+  ASSERT_TRUE(w.is_ok());
+  ASSERT_TRUE((*w)->write(as_bytes("plain buffered")).is_ok());
+  ASSERT_TRUE((*w)->close().is_ok());
+  EXPECT_EQ(fallbacks.value(), before);
+  std::filesystem::remove_all(dir);
 }
 
 TEST(FileBackendTest, KeysWithSubdirectories) {

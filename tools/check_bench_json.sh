@@ -51,6 +51,19 @@ for f in "$@"; do
     status=1
     continue
   fi
+  # X10 (bench "crc") must always carry the portable baseline and the
+  # zero-page arms, whatever kernels the host CPU offers — they are the
+  # denominators every speedup claim divides by.
+  if [ "$(jq -r '.bench' "$f")" = "crc" ]; then
+    if ! jq -e '[.arms[].name] |
+        (index("crc_soft_64k") != null) and
+        (index("zero_page_scan_allzero") != null) and
+        (index("zero_page_scan_dirty") != null)' "$f" > /dev/null; then
+      echo "FAIL $f: crc bench missing baseline arms" >&2
+      status=1
+      continue
+    fi
+  fi
   echo "OK   $f ($(jq -r '.arms | length' "$f") arms)"
 done
 exit $status
