@@ -1,0 +1,200 @@
+// Ablation X11: the network checkpoint store under concurrent load.
+//
+// Starts an in-process ickptd core (net::Server over a memory backend,
+// loopback TCP) and drives it with N client threads, each streaming M
+// chain-style objects through its own RemoteBackend connection — the
+// exact PUT_BEGIN/PUT_DATA/PUT_END and ranged-GET paths the
+// Checkpointer and restore pipeline use.  Arms sweep the stream count
+// (1, 8, 64) for puts and gets separately; every GET is verified
+// byte-for-byte against the generator, and the run fails hard if the
+// server counted a single protocol error or dropped a byte.
+#include "bench/bench_util.h"
+
+#include <atomic>
+#include <cstring>
+#include <thread>
+
+#include "common/rng.h"
+#include "net/remote_backend.h"
+#include "net/server.h"
+#include "obs/metrics.h"
+#include "storage/backend.h"
+
+using namespace ickpt;
+using namespace ickpt::bench;
+
+namespace {
+
+std::vector<std::byte> object_bytes(std::size_t n, std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<std::byte> out(n);
+  for (std::size_t i = 0; i + 8 <= n; i += 8) {
+    const std::uint64_t w = rng.next_u64();
+    std::memcpy(out.data() + i, &w, 8);
+  }
+  return out;
+}
+
+std::string object_key(std::size_t thread, std::size_t index) {
+  return "rank" + std::to_string(thread) + "/ckpt-" + std::to_string(index);
+}
+
+struct Workload {
+  std::size_t streams = 1;
+  std::size_t objects_per_stream = 4;   ///< M chain elements per client
+  std::size_t object_size = 1u << 20;
+
+  std::uint64_t total_bytes() const {
+    return static_cast<std::uint64_t>(streams) * objects_per_stream *
+           object_size;
+  }
+};
+
+/// Run `fn(thread_index)` on `streams` threads and propagate failure.
+template <typename F>
+bool fan_out(std::size_t streams, F&& fn) {
+  std::atomic<bool> ok{true};
+  std::vector<std::thread> threads;
+  threads.reserve(streams);
+  for (std::size_t t = 0; t < streams; ++t) {
+    threads.emplace_back([&, t] {
+      if (!fn(t)) ok.store(false, std::memory_order_relaxed);
+    });
+  }
+  for (auto& th : threads) th.join();
+  return ok.load();
+}
+
+bool put_all(storage::StorageBackend& store, const Workload& w,
+             std::size_t thread) {
+  for (std::size_t i = 0; i < w.objects_per_stream; ++i) {
+    const auto bytes =
+        object_bytes(w.object_size, thread * 1000 + i);
+    auto writer = store.create(object_key(thread, i));
+    if (!writer.is_ok()) return false;
+    // Chain-style streaming: several write() calls per object, the
+    // shape the encode pipeline produces.
+    std::span<const std::byte> rest(bytes);
+    while (!rest.empty()) {
+      const std::size_t n = std::min<std::size_t>(rest.size(), 192 * 1024);
+      if (!(*writer)->write(rest.first(n)).is_ok()) return false;
+      rest = rest.subspan(n);
+    }
+    if (!(*writer)->close().is_ok()) return false;
+  }
+  return true;
+}
+
+bool get_all(storage::StorageBackend& store, const Workload& w,
+             std::size_t thread) {
+  std::vector<std::byte> got(w.object_size);
+  for (std::size_t i = 0; i < w.objects_per_stream; ++i) {
+    auto reader = store.open(object_key(thread, i));
+    if (!reader.is_ok()) return false;
+    if ((*reader)->size() != w.object_size) return false;
+    std::size_t off = 0;
+    while (off < got.size()) {
+      auto n = (*reader)->read({got.data() + off, got.size() - off});
+      if (!n.is_ok() || *n == 0) break;
+      off += *n;
+    }
+    const auto expect = object_bytes(w.object_size, thread * 1000 + i);
+    if (off != expect.size() ||
+        std::memcmp(got.data(), expect.data(), off) != 0) {
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  BenchArgs args;
+  FlagSet flags("ablation_net");
+  args.register_flags(flags);
+  parse_or_exit(flags, argc, argv);
+
+  auto backend = storage::make_memory_backend();
+  auto server = net::Server::create(*backend);
+  if (!server.is_ok()) {
+    std::cerr << "server: " << server.status().to_string() << "\n";
+    return 1;
+  }
+  std::thread serve_thread([&] { (void)(*server)->serve(); });
+
+  auto& protocol_errors = obs::registry().counter("net.protocol_errors");
+  const std::uint64_t errors_before = protocol_errors.value();
+
+  BenchJson json("net", args);
+  TextTable table("Ablation X11 - network store under concurrent load");
+  table.set_header({"arm", "streams", "MB", "wall_s", "MB/s"});
+
+  bool all_ok = true;
+  for (std::size_t streams : {std::size_t{1}, std::size_t{8},
+                              std::size_t{64}}) {
+    Workload w;
+    w.streams = streams;
+    w.objects_per_stream = args.quick ? 2 : 4;
+    w.object_size = args.quick ? 256u * 1024 : 1u << 20;
+
+    storage::RemoteBackendOptions options;
+    options.host = "127.0.0.1";
+    options.port = (*server)->port();
+    options.pool_size = streams;  // one pooled socket per stream
+    options.io_timeout_s = 120.0;
+    auto remote = storage::make_remote_backend(options);
+    if (!remote.is_ok()) {
+      std::cerr << "connect: " << remote.status().to_string() << "\n";
+      return 1;
+    }
+
+    for (const char* dir : {"put", "get"}) {
+      const std::string arm =
+          std::string(dir) + "_s" + std::to_string(streams);
+      bool ok = true;
+      const auto t0 = std::chrono::steady_clock::now();
+      json.run_arm(arm, w.total_bytes(), [&] {
+        ok = fan_out(streams, [&](std::size_t t) {
+          return std::string(dir) == "put" ? put_all(**remote, w, t)
+                                           : get_all(**remote, w, t);
+        });
+      });
+      const double wall =
+          std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                        t0)
+              .count();
+      const double mb =
+          static_cast<double>(w.total_bytes()) / (1024.0 * 1024.0);
+      table.add_row({arm, std::to_string(streams), TextTable::num(mb, 1),
+                     TextTable::num(wall, 3), TextTable::num(mb / wall, 1)});
+      if (!ok) {
+        std::cerr << arm << ": FAILED (error or byte mismatch)\n";
+        all_ok = false;
+      }
+    }
+
+    // Fresh store per stream count so get arms read what their own
+    // put arm wrote and memory stays bounded.
+    auto keys = (*remote)->list();
+    if (keys.is_ok()) {
+      for (const auto& key : *keys) (void)(*remote)->remove(key);
+    }
+  }
+
+  (*server)->stop();
+  serve_thread.join();
+
+  const std::uint64_t errors = protocol_errors.value() - errors_before;
+  std::cout << "concurrent streams peak: "
+            << obs::registry().gauge("net.conns_open").max()
+            << ", protocol errors: " << errors << "\n";
+  if (errors != 0) {
+    std::cerr << "ablation_net: protocol errors under load\n";
+    all_ok = false;
+  }
+
+  finish(table, "ablation_net.csv");
+  json.write(args);
+  return all_ok ? 0 : 1;
+}

@@ -6,6 +6,7 @@
 #include "checkpoint/format.h"
 #include "checkpoint/restore.h"
 #include "common/crc32.h"
+#include "common/io_util.h"
 #include "obs/trace.h"
 
 namespace ickpt::checkpoint {
@@ -29,14 +30,11 @@ struct FsckTrace {
 /// Read exactly `len` bytes.  Streaming backends may legitimately
 /// return short counts, so a single read() is not enough.
 Status read_exact(storage::Reader& in, void* out, std::size_t len) {
-  auto* dst = static_cast<std::byte*>(out);
-  std::size_t got_total = 0;
-  while (got_total < len) {
-    auto got = in.read({dst + got_total, len - got_total});
-    if (!got.is_ok()) return got.status();
-    if (*got == 0) return corruption("unexpected end of object");
-    got_total += *got;
-  }
+  auto got = ioutil::read_full(
+      [&in](std::span<std::byte> span) { return in.read(span); },
+      {static_cast<std::byte*>(out), len});
+  if (!got.is_ok()) return got.status();
+  if (*got < len) return corruption("unexpected end of object");
   return Status::ok();
 }
 

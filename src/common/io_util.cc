@@ -1,0 +1,39 @@
+#include "common/io_util.h"
+
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <string>
+
+namespace ickpt::ioutil {
+
+Result<std::size_t> read_full(int fd, std::span<std::byte> out) {
+  std::size_t got_total = 0;
+  while (got_total < out.size()) {
+    const ssize_t got =
+        ::read(fd, out.data() + got_total, out.size() - got_total);
+    if (got < 0) {
+      if (errno == EINTR) continue;
+      return io_error(std::string("read failed: ") + std::strerror(errno));
+    }
+    if (got == 0) break;  // EOF
+    got_total += static_cast<std::size_t>(got);
+  }
+  return got_total;
+}
+
+Status write_full(int fd, std::span<const std::byte> data) {
+  std::size_t done = 0;
+  while (done < data.size()) {
+    const ssize_t got = ::write(fd, data.data() + done, data.size() - done);
+    if (got < 0) {
+      if (errno == EINTR) continue;
+      return io_error(std::string("write failed: ") + std::strerror(errno));
+    }
+    done += static_cast<std::size_t>(got);
+  }
+  return Status::ok();
+}
+
+}  // namespace ickpt::ioutil

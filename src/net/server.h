@@ -1,0 +1,80 @@
+// ickptd server core: a single-threaded epoll event loop serving the
+// wire protocol (net/wire.h) out of any storage::StorageBackend.
+//
+// Shape (the production-store tier the ROADMAP asks for):
+//   * nonblocking sockets, edge-triggered epoll, one state machine per
+//     connection — accept/read/parse/respond all on one thread, so no
+//     locking anywhere in the request path;
+//   * per-tenant namespaces: HELLO names a tenant, and every key the
+//     connection uses is transparently prefixed "tenant/<name>/" in
+//     the backing store, so tenants cannot see or touch each other's
+//     objects;
+//   * backpressure: response bytes queue per connection, and a GET
+//     body is only pumped from the backend while the unsent queue is
+//     below `max_inflight_bytes` — a slow reader stalls its own
+//     stream, never the event loop's memory;
+//   * idle timeout: connections quiet for `idle_timeout_s` are closed
+//     (a PUT in flight counts as activity only when bytes arrive);
+//   * PUT streams into a backend Writer; the object becomes visible
+//     only at PUT_END.  A connection that drops mid-PUT (or sends
+//     PUT_ABORT) destroys the writer unclosed, which every backend
+//     treats as abort-and-discard — the same orphan-cleanup guarantee
+//     local writers have.
+//
+// Observability: net.* counters/gauges/histograms (connections, per-
+// verb requests, bytes in/out, request latency) and net.<verb> trace
+// spans per request; docs/OBSERVABILITY.md lists them.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "common/status.h"
+#include "storage/backend.h"
+
+namespace ickpt::net {
+
+struct ServerOptions {
+  std::string bind = "127.0.0.1";
+  /// TCP port; 0 picks an ephemeral port (read it back via port()).
+  std::uint16_t port = 0;
+  /// Per-connection cap on queued-but-unsent response bytes; GET body
+  /// pumping pauses above it.
+  std::size_t max_inflight_bytes = 4u << 20;
+  /// Close connections with no socket activity for this long.
+  /// <= 0 disables the idle sweep.
+  double idle_timeout_s = 60.0;
+};
+
+class Server {
+ public:
+  /// Bind + listen (so port() is valid immediately); serve() runs the
+  /// loop.  The backend must outlive the server.
+  static Result<std::unique_ptr<Server>> create(
+      storage::StorageBackend& backend, const ServerOptions& options = {});
+
+  ~Server();
+  Server(const Server&) = delete;
+  Server& operator=(const Server&) = delete;
+
+  /// The bound port (useful with options.port == 0).
+  std::uint16_t port() const noexcept;
+
+  /// Run the event loop on the calling thread until stop() is called.
+  Status serve();
+
+  /// Ask a running serve() to return.  Callable from any thread and
+  /// from signal handlers (one eventfd write).
+  void stop() noexcept;
+
+  /// Currently open client connections (for tests and draining).
+  std::size_t open_connections() const noexcept;
+
+ private:
+  class Impl;
+  explicit Server(std::unique_ptr<Impl> impl);
+  std::unique_ptr<Impl> impl_;
+};
+
+}  // namespace ickpt::net

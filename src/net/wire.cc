@@ -1,0 +1,367 @@
+#include "net/wire.h"
+
+#include <cstring>
+
+namespace ickpt::net {
+
+namespace {
+
+bool known_verb(std::uint8_t v) noexcept {
+  switch (static_cast<Verb>(v)) {
+    case Verb::kHello:
+    case Verb::kPutBegin:
+    case Verb::kPutData:
+    case Verb::kPutEnd:
+    case Verb::kPutAbort:
+    case Verb::kGet:
+    case Verb::kList:
+    case Verb::kDelete:
+    case Verb::kStat:
+    case Verb::kHelloOk:
+    case Verb::kOk:
+    case Verb::kErr:
+    case Verb::kData:
+    case Verb::kDataEnd:
+    case Verb::kStatOk:
+    case Verb::kListOk:
+      return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+std::string_view to_string(Verb verb) noexcept {
+  switch (verb) {
+    case Verb::kHello: return "HELLO";
+    case Verb::kPutBegin: return "PUT_BEGIN";
+    case Verb::kPutData: return "PUT_DATA";
+    case Verb::kPutEnd: return "PUT_END";
+    case Verb::kPutAbort: return "PUT_ABORT";
+    case Verb::kGet: return "GET";
+    case Verb::kList: return "LIST";
+    case Verb::kDelete: return "DELETE";
+    case Verb::kStat: return "STAT";
+    case Verb::kHelloOk: return "HELLO_OK";
+    case Verb::kOk: return "OK";
+    case Verb::kErr: return "ERR";
+    case Verb::kData: return "DATA";
+    case Verb::kDataEnd: return "DATA_END";
+    case Verb::kStatOk: return "STAT_OK";
+    case Verb::kListOk: return "LIST_OK";
+  }
+  return "?";
+}
+
+void encode_frame_header(const FrameHeader& h,
+                         std::span<std::byte, kFrameHeaderSize> out) {
+  const std::uint32_t len = h.len;
+  out[0] = static_cast<std::byte>(len & 0xFF);
+  out[1] = static_cast<std::byte>((len >> 8) & 0xFF);
+  out[2] = static_cast<std::byte>((len >> 16) & 0xFF);
+  out[3] = static_cast<std::byte>((len >> 24) & 0xFF);
+  out[4] = static_cast<std::byte>(h.verb);
+  out[5] = static_cast<std::byte>(h.flags);
+  out[6] = static_cast<std::byte>(h.code & 0xFF);
+  out[7] = static_cast<std::byte>((h.code >> 8) & 0xFF);
+}
+
+Result<FrameHeader> decode_frame_header(
+    std::span<const std::byte, kFrameHeaderSize> in) {
+  FrameHeader h;
+  h.len = static_cast<std::uint32_t>(in[0]) |
+          static_cast<std::uint32_t>(in[1]) << 8 |
+          static_cast<std::uint32_t>(in[2]) << 16 |
+          static_cast<std::uint32_t>(in[3]) << 24;
+  const auto verb = static_cast<std::uint8_t>(in[4]);
+  h.flags = static_cast<std::uint8_t>(in[5]);
+  h.code = static_cast<std::uint16_t>(
+      static_cast<std::uint16_t>(in[6]) |
+      static_cast<std::uint16_t>(static_cast<std::uint16_t>(in[7]) << 8));
+  if (h.len > kMaxFramePayload) {
+    return invalid_argument("frame payload length " + std::to_string(h.len) +
+                            " exceeds cap " +
+                            std::to_string(kMaxFramePayload));
+  }
+  if (!known_verb(verb)) {
+    return invalid_argument("unknown verb " + std::to_string(verb));
+  }
+  h.verb = static_cast<Verb>(verb);
+  return h;
+}
+
+// ----------------------------------------------------------------- codes
+
+std::uint16_t to_wire_code(ErrorCode code) noexcept {
+  return static_cast<std::uint16_t>(code);
+}
+
+ErrorCode from_wire_code(std::uint16_t code) noexcept {
+  switch (static_cast<ErrorCode>(code)) {
+    case ErrorCode::kOk:
+    case ErrorCode::kInvalidArgument:
+    case ErrorCode::kNotFound:
+    case ErrorCode::kAlreadyExists:
+    case ErrorCode::kOutOfRange:
+    case ErrorCode::kFailedPrecondition:
+    case ErrorCode::kIoError:
+    case ErrorCode::kCorruption:
+    case ErrorCode::kUnsupported:
+    case ErrorCode::kResourceExhausted:
+    case ErrorCode::kInternal:
+      return static_cast<ErrorCode>(code);
+  }
+  return ErrorCode::kInternal;
+}
+
+// --------------------------------------------------------------- append
+
+void put_u16(std::vector<std::byte>& out, std::uint16_t v) {
+  out.push_back(static_cast<std::byte>(v & 0xFF));
+  out.push_back(static_cast<std::byte>((v >> 8) & 0xFF));
+}
+
+void put_u32(std::vector<std::byte>& out, std::uint32_t v) {
+  for (int i = 0; i < 4; ++i) {
+    out.push_back(static_cast<std::byte>((v >> (8 * i)) & 0xFF));
+  }
+}
+
+void put_u64(std::vector<std::byte>& out, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    out.push_back(static_cast<std::byte>((v >> (8 * i)) & 0xFF));
+  }
+}
+
+void put_string(std::vector<std::byte>& out, std::string_view s) {
+  put_u16(out, static_cast<std::uint16_t>(s.size()));
+  const auto* p = reinterpret_cast<const std::byte*>(s.data());
+  out.insert(out.end(), p, p + s.size());
+}
+
+std::vector<std::byte> build_frame(Verb verb,
+                                   std::span<const std::byte> payload,
+                                   std::uint16_t code) {
+  std::vector<std::byte> frame(kFrameHeaderSize + payload.size());
+  FrameHeader h;
+  h.len = static_cast<std::uint32_t>(payload.size());
+  h.verb = verb;
+  h.code = code;
+  encode_frame_header(h, std::span<std::byte, kFrameHeaderSize>(
+                             frame.data(), kFrameHeaderSize));
+  if (!payload.empty()) {
+    std::memcpy(frame.data() + kFrameHeaderSize, payload.data(),
+                payload.size());
+  }
+  return frame;
+}
+
+// ---------------------------------------------------------------- parse
+
+Result<std::span<const std::byte>> WireCursor::take(std::size_t n) {
+  if (n > remaining()) {
+    return invalid_argument("truncated payload: need " + std::to_string(n) +
+                            " bytes, have " + std::to_string(remaining()));
+  }
+  auto view = data_.subspan(pos_, n);
+  pos_ += n;
+  return view;
+}
+
+Result<std::uint16_t> WireCursor::u16() {
+  ICKPT_ASSIGN_OR_RETURN(b, take(2));
+  return static_cast<std::uint16_t>(
+      static_cast<std::uint16_t>(b[0]) |
+      static_cast<std::uint16_t>(static_cast<std::uint16_t>(b[1]) << 8));
+}
+
+Result<std::uint32_t> WireCursor::u32() {
+  ICKPT_ASSIGN_OR_RETURN(b, take(4));
+  std::uint32_t v = 0;
+  for (int i = 3; i >= 0; --i) {
+    v = (v << 8) | static_cast<std::uint32_t>(b[static_cast<std::size_t>(i)]);
+  }
+  return v;
+}
+
+Result<std::uint64_t> WireCursor::u64() {
+  ICKPT_ASSIGN_OR_RETURN(b, take(8));
+  std::uint64_t v = 0;
+  for (int i = 7; i >= 0; --i) {
+    v = (v << 8) | static_cast<std::uint64_t>(b[static_cast<std::size_t>(i)]);
+  }
+  return v;
+}
+
+Result<std::string> WireCursor::string(std::size_t max_len) {
+  ICKPT_ASSIGN_OR_RETURN(len, u16());
+  if (len > max_len) {
+    return invalid_argument("string length " + std::to_string(len) +
+                            " exceeds cap " + std::to_string(max_len));
+  }
+  ICKPT_ASSIGN_OR_RETURN(b, take(len));
+  return std::string(reinterpret_cast<const char*>(b.data()), b.size());
+}
+
+std::span<const std::byte> WireCursor::rest() noexcept {
+  auto view = data_.subspan(pos_);
+  pos_ = data_.size();
+  return view;
+}
+
+Status WireCursor::expect_end() const {
+  if (pos_ != data_.size()) {
+    return invalid_argument("trailing bytes after payload: " +
+                            std::to_string(data_.size() - pos_));
+  }
+  return Status::ok();
+}
+
+// ------------------------------------------------------------- messages
+
+std::vector<std::byte> build_hello(const HelloMsg& msg) {
+  std::vector<std::byte> out;
+  put_u32(out, msg.version);
+  put_string(out, msg.tenant);
+  return out;
+}
+
+Result<HelloMsg> parse_hello(std::span<const std::byte> payload) {
+  WireCursor cur(payload);
+  HelloMsg msg;
+  ICKPT_ASSIGN_OR_RETURN(version, cur.u32());
+  msg.version = version;
+  ICKPT_ASSIGN_OR_RETURN(tenant, cur.string(kMaxTenantLength));
+  msg.tenant = std::move(tenant);
+  ICKPT_RETURN_IF_ERROR(cur.expect_end());
+  return msg;
+}
+
+std::vector<std::byte> build_get(const GetMsg& msg) {
+  std::vector<std::byte> out;
+  put_string(out, msg.key);
+  put_u64(out, msg.offset);
+  put_u64(out, msg.length);
+  return out;
+}
+
+Result<GetMsg> parse_get(std::span<const std::byte> payload) {
+  WireCursor cur(payload);
+  GetMsg msg;
+  ICKPT_ASSIGN_OR_RETURN(key, cur.string());
+  msg.key = std::move(key);
+  ICKPT_ASSIGN_OR_RETURN(offset, cur.u64());
+  msg.offset = offset;
+  ICKPT_ASSIGN_OR_RETURN(length, cur.u64());
+  msg.length = length;
+  ICKPT_RETURN_IF_ERROR(cur.expect_end());
+  return msg;
+}
+
+std::vector<std::byte> build_key_only(const std::string& key) {
+  std::vector<std::byte> out;
+  put_string(out, key);
+  return out;
+}
+
+Result<std::string> parse_key_only(std::span<const std::byte> payload) {
+  WireCursor cur(payload);
+  ICKPT_ASSIGN_OR_RETURN(key, cur.string());
+  ICKPT_RETURN_IF_ERROR(cur.expect_end());
+  return key;
+}
+
+std::vector<std::byte> build_stat_ok(std::uint64_t size) {
+  std::vector<std::byte> out;
+  put_u64(out, size);
+  return out;
+}
+
+Result<std::uint64_t> parse_stat_ok(std::span<const std::byte> payload) {
+  WireCursor cur(payload);
+  ICKPT_ASSIGN_OR_RETURN(size, cur.u64());
+  ICKPT_RETURN_IF_ERROR(cur.expect_end());
+  return size;
+}
+
+std::vector<std::byte> build_list_ok(const std::vector<std::string>& keys) {
+  std::vector<std::byte> out;
+  put_u32(out, static_cast<std::uint32_t>(keys.size()));
+  for (const auto& key : keys) put_string(out, key);
+  return out;
+}
+
+Result<std::vector<std::string>> parse_list_ok(
+    std::span<const std::byte> payload) {
+  WireCursor cur(payload);
+  ICKPT_ASSIGN_OR_RETURN(count, cur.u32());
+  // Each key costs at least its 2-byte length prefix; a count claiming
+  // more entries than the payload could possibly hold is rejected
+  // before any reservation happens.
+  if (count > payload.size() / 2) {
+    return invalid_argument("list count " + std::to_string(count) +
+                            " impossible for payload of " +
+                            std::to_string(payload.size()) + " bytes");
+  }
+  std::vector<std::string> keys;
+  keys.reserve(count);
+  for (std::uint32_t i = 0; i < count; ++i) {
+    ICKPT_ASSIGN_OR_RETURN(key, cur.string());
+    keys.push_back(std::move(key));
+  }
+  ICKPT_RETURN_IF_ERROR(cur.expect_end());
+  return keys;
+}
+
+std::vector<std::byte> build_err_payload(const std::string& message) {
+  std::vector<std::byte> out;
+  // Error text is advisory; clip rather than reject long messages.
+  std::string_view clipped(message);
+  if (clipped.size() > kMaxKeyLength) clipped = clipped.substr(0, kMaxKeyLength);
+  put_string(out, clipped);
+  return out;
+}
+
+Result<std::string> parse_err_payload(std::span<const std::byte> payload) {
+  WireCursor cur(payload);
+  ICKPT_ASSIGN_OR_RETURN(message, cur.string());
+  ICKPT_RETURN_IF_ERROR(cur.expect_end());
+  return message;
+}
+
+bool valid_tenant(std::string_view tenant) noexcept {
+  if (tenant.empty() || tenant.size() > kMaxTenantLength) return false;
+  for (char c : tenant) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    (c >= '0' && c <= '9') || c == '.' || c == '_' ||
+                    c == '-';
+    if (!ok) return false;
+  }
+  return true;
+}
+
+bool valid_key(std::string_view key) noexcept {
+  if (key.empty() || key.size() > kMaxKeyLength) return false;
+  if (key.front() == '/') return false;
+  for (char c : key) {
+    if (static_cast<unsigned char>(c) < 0x20 ||
+        static_cast<unsigned char>(c) > 0x7E) {
+      return false;
+    }
+  }
+  // Reject ".." as a full path component anywhere in the key.
+  std::size_t start = 0;
+  while (start <= key.size()) {
+    const std::size_t slash = key.find('/', start);
+    const std::size_t end = slash == std::string_view::npos ? key.size()
+                                                            : slash;
+    if (end - start == 2 && key[start] == '.' && key[start + 1] == '.') {
+      return false;
+    }
+    if (slash == std::string_view::npos) break;
+    start = slash + 1;
+  }
+  return true;
+}
+
+}  // namespace ickpt::net

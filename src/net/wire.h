@@ -1,0 +1,204 @@
+// Wire format for the ickptd checkpoint store protocol.
+//
+// Everything on the socket is a length-prefixed frame:
+//
+//   offset  size  field
+//   0       4     payload length (little-endian; excludes the header)
+//   4       1     verb
+//   5       1     flags (0; reserved)
+//   6       2     status code (0 except in ERR frames)
+//   8       len   payload
+//
+// Payload integers are little-endian; strings are a u16 length prefix
+// followed by raw bytes.  The frame length is capped at
+// kMaxFramePayload, so a hostile or corrupt length prefix can never
+// make either side allocate unboundedly: decode_frame_header rejects
+// it before any allocation happens.
+//
+// Request verbs (client -> server):
+//   HELLO      u32 version, str tenant     -- must be the first frame
+//   PUT_BEGIN  str key                     -- open a streaming upload
+//   PUT_DATA   raw bytes                   -- body chunk (<= kChunkSize)
+//   PUT_END    (empty)                     -- commit; object becomes
+//                                             visible atomically
+//   PUT_ABORT  (empty)                     -- discard the partial object
+//   GET        str key, u64 offset, u64 length (kWholeObject = to EOF)
+//   LIST       (empty)
+//   DELETE     str key
+//   STAT       str key
+//
+// Response verbs (server -> client):
+//   HELLO_OK   u32 version
+//   OK         (empty)                     -- PUT_END / PUT_ABORT / DELETE
+//   ERR        str message; header code carries the ErrorCode
+//   DATA       raw bytes                   -- GET body chunk
+//   DATA_END   (empty)                     -- GET body complete
+//   STAT_OK    u64 size
+//   LIST_OK    u32 count, count x str key
+//
+// docs/PROTOCOL.md is the authoritative prose description (error
+// codes, state machine, backpressure rules); this header and that
+// document must change together.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace ickpt::net {
+
+/// Protocol version spoken by this build; HELLO with any other value
+/// is rejected (kFailedPrecondition).
+inline constexpr std::uint32_t kWireVersion = 1;
+
+/// Hard cap on a frame's payload.  Chosen so one DATA chunk plus
+/// protocol framing always fits and nothing on either side ever
+/// allocates more than ~1 MiB per frame.
+inline constexpr std::uint32_t kMaxFramePayload = 1u << 20;
+
+/// Body chunk size used by PUT_DATA / DATA streams.
+inline constexpr std::size_t kChunkSize = 256u * 1024;
+
+/// GET length meaning "the rest of the object".
+inline constexpr std::uint64_t kWholeObject = ~0ull;
+
+inline constexpr std::size_t kFrameHeaderSize = 8;
+inline constexpr std::size_t kMaxKeyLength = 4096;
+inline constexpr std::size_t kMaxTenantLength = 64;
+
+enum class Verb : std::uint8_t {
+  // Requests.
+  kHello = 0x01,
+  kPutBegin = 0x02,
+  kPutData = 0x03,
+  kPutEnd = 0x04,
+  kPutAbort = 0x05,
+  kGet = 0x06,
+  kList = 0x07,
+  kDelete = 0x08,
+  kStat = 0x09,
+  // Responses.
+  kHelloOk = 0x41,
+  kOk = 0x42,
+  kErr = 0x43,
+  kData = 0x44,
+  kDataEnd = 0x45,
+  kStatOk = 0x46,
+  kListOk = 0x47,
+};
+
+std::string_view to_string(Verb verb) noexcept;
+
+struct FrameHeader {
+  std::uint32_t len = 0;   ///< payload bytes after the header
+  Verb verb = Verb::kOk;
+  std::uint8_t flags = 0;
+  std::uint16_t code = 0;  ///< wire ErrorCode; nonzero only in ERR
+};
+
+/// Serialize a header into its 8 wire bytes.
+void encode_frame_header(const FrameHeader& h,
+                         std::span<std::byte, kFrameHeaderSize> out);
+
+/// Parse and validate 8 header bytes: unknown verbs and payload
+/// lengths above kMaxFramePayload are kInvalidArgument (protocol
+/// errors), never accepted.
+Result<FrameHeader> decode_frame_header(
+    std::span<const std::byte, kFrameHeaderSize> in);
+
+// ----------------------------------------------------------------- codes
+
+/// ErrorCode <-> u16 wire code.  Unknown wire codes decode as
+/// kInternal so a newer peer can't crash an older one.
+std::uint16_t to_wire_code(ErrorCode code) noexcept;
+ErrorCode from_wire_code(std::uint16_t code) noexcept;
+
+// --------------------------------------------------------------- append
+
+// Append helpers (build payloads into a byte vector).
+void put_u16(std::vector<std::byte>& out, std::uint16_t v);
+void put_u32(std::vector<std::byte>& out, std::uint32_t v);
+void put_u64(std::vector<std::byte>& out, std::uint64_t v);
+void put_string(std::vector<std::byte>& out, std::string_view s);
+
+/// Build a whole frame (header + payload) ready for the socket.
+std::vector<std::byte> build_frame(Verb verb,
+                                   std::span<const std::byte> payload,
+                                   std::uint16_t code = 0);
+
+// ---------------------------------------------------------------- parse
+
+/// Bounds-checked payload cursor.  Every accessor fails with
+/// kInvalidArgument once the payload is exhausted; expect_end()
+/// rejects trailing garbage so frames are parsed exactly.
+class WireCursor {
+ public:
+  explicit WireCursor(std::span<const std::byte> data) : data_(data) {}
+
+  Result<std::uint16_t> u16();
+  Result<std::uint32_t> u32();
+  Result<std::uint64_t> u64();
+  /// A u16-length-prefixed string capped at `max_len`.
+  Result<std::string> string(std::size_t max_len = kMaxKeyLength);
+  /// The rest of the payload as raw bytes (view into the input).
+  std::span<const std::byte> rest() noexcept;
+
+  std::size_t remaining() const noexcept { return data_.size() - pos_; }
+  Status expect_end() const;
+
+ private:
+  Result<std::span<const std::byte>> take(std::size_t n);
+
+  std::span<const std::byte> data_;
+  std::size_t pos_ = 0;
+};
+
+// Typed payload builders + parsers for each message that carries
+// structure.  Parsers validate exhaustively (length prefixes in
+// bounds, no trailing bytes) and return kInvalidArgument on any
+// malformation — the fuzz tests drive random bytes through them.
+
+struct HelloMsg {
+  std::uint32_t version = kWireVersion;
+  std::string tenant;
+};
+std::vector<std::byte> build_hello(const HelloMsg& msg);
+Result<HelloMsg> parse_hello(std::span<const std::byte> payload);
+
+struct GetMsg {
+  std::string key;
+  std::uint64_t offset = 0;
+  std::uint64_t length = kWholeObject;
+};
+std::vector<std::byte> build_get(const GetMsg& msg);
+Result<GetMsg> parse_get(std::span<const std::byte> payload);
+
+/// PUT_BEGIN, DELETE and STAT all carry exactly one key.
+std::vector<std::byte> build_key_only(const std::string& key);
+Result<std::string> parse_key_only(std::span<const std::byte> payload);
+
+std::vector<std::byte> build_stat_ok(std::uint64_t size);
+Result<std::uint64_t> parse_stat_ok(std::span<const std::byte> payload);
+
+std::vector<std::byte> build_list_ok(const std::vector<std::string>& keys);
+Result<std::vector<std::string>> parse_list_ok(
+    std::span<const std::byte> payload);
+
+std::vector<std::byte> build_err_payload(const std::string& message);
+Result<std::string> parse_err_payload(std::span<const std::byte> payload);
+
+/// A valid tenant name: nonempty, <= kMaxTenantLength, characters from
+/// [A-Za-z0-9._-] only (it becomes a key prefix component, so '/' and
+/// control bytes must never appear).
+bool valid_tenant(std::string_view tenant) noexcept;
+
+/// A valid object key: nonempty, <= kMaxKeyLength, printable ASCII,
+/// no ".." path components and no leading '/' (keys map to relative
+/// file paths in the file backend).
+bool valid_key(std::string_view key) noexcept;
+
+}  // namespace ickpt::net

@@ -128,6 +128,7 @@ std::string_view to_string(TraceCat cat) noexcept {
     case TraceCat::kFsck: return "fsck";
     case TraceCat::kStudy: return "study";
     case TraceCat::kBench: return "bench";
+    case TraceCat::kNet: return "net";
   }
   return "other";
 }

@@ -51,6 +51,7 @@ enum class TraceCat : std::uint8_t {
   kFsck,
   kStudy,
   kBench,
+  kNet,
 };
 
 std::string_view to_string(TraceCat cat) noexcept;

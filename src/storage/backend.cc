@@ -17,6 +17,7 @@
 #include <mutex>
 #include <thread>
 
+#include "common/io_util.h"
 #include "obs/metrics.h"
 
 namespace ickpt::storage {
@@ -225,18 +226,27 @@ class DirectFileWriter final : public Writer {
   /// EINVAL in direct mode, downgrade to buffered and retry.
   Status drain(std::size_t n) {
     std::size_t done = 0;
-    while (done < n) {
+    while (done < n && direct_) {
       ssize_t got = ::write(fd_, stage_.data() + done, n - done);
       if (got < 0) {
         if (errno == EINTR) continue;
-        if (errno == EINVAL && direct_) {
+        if (errno == EINVAL) {
           DirectIoMetrics::get().fallbacks.inc();
           drop_direct();
-          continue;
+          break;  // remainder goes through the buffered path below
         }
         return io_error("file write failed: " + tmp_.string());
       }
       done += static_cast<std::size_t>(got);
+    }
+    if (done < n) {
+      auto st = ioutil::write_full(
+          fd_, {reinterpret_cast<const std::byte*>(stage_.data()) + done,
+                n - done});
+      if (!st.is_ok()) {
+        return io_error("file write failed: " + tmp_.string());
+      }
+      done = n;
     }
     // Shift any remainder (only on the close() tail path, where a
     // partial drain never happens mid-buffer) and reset the fill.

@@ -1,0 +1,246 @@
+// Wire-format unit + fuzz tests: every parser must either return a
+// valid message or a clean kInvalidArgument — truncated frames,
+// oversized length prefixes, unknown verbs and random garbage must
+// never crash or over-read (ASan/UBSan run this suite in CI).
+#include "net/wire.h"
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+
+namespace ickpt::net {
+namespace {
+
+std::vector<std::byte> header_bytes(const FrameHeader& h) {
+  std::vector<std::byte> buf(kFrameHeaderSize);
+  encode_frame_header(
+      h, std::span<std::byte, kFrameHeaderSize>(buf.data(), buf.size()));
+  return buf;
+}
+
+Result<FrameHeader> decode(const std::vector<std::byte>& buf) {
+  return decode_frame_header(std::span<const std::byte, kFrameHeaderSize>(
+      buf.data(), kFrameHeaderSize));
+}
+
+TEST(WireHeaderTest, RoundTripsEveryField) {
+  FrameHeader h;
+  h.len = 123456;
+  h.verb = Verb::kErr;
+  h.code = to_wire_code(ErrorCode::kNotFound);
+  auto decoded = decode(header_bytes(h));
+  ASSERT_TRUE(decoded.is_ok());
+  EXPECT_EQ(decoded->len, h.len);
+  EXPECT_EQ(decoded->verb, Verb::kErr);
+  EXPECT_EQ(from_wire_code(decoded->code), ErrorCode::kNotFound);
+}
+
+TEST(WireHeaderTest, RejectsOversizedLengthPrefix) {
+  FrameHeader h;
+  h.len = kMaxFramePayload + 1;
+  h.verb = Verb::kPutData;
+  auto decoded = decode(header_bytes(h));
+  ASSERT_FALSE(decoded.is_ok());
+  EXPECT_EQ(decoded.status().code(), ErrorCode::kInvalidArgument);
+
+  // 0xFFFFFFFF — the classic hostile length.
+  auto buf = header_bytes(h);
+  for (int i = 0; i < 4; ++i) buf[static_cast<std::size_t>(i)] = std::byte{0xFF};
+  EXPECT_FALSE(decode(buf).is_ok());
+}
+
+TEST(WireHeaderTest, RejectsUnknownVerbs) {
+  for (int v : {0x00, 0x0A, 0x3F, 0x48, 0x7F, 0xFF}) {
+    FrameHeader h;
+    h.len = 0;
+    h.verb = Verb::kOk;
+    auto buf = header_bytes(h);
+    buf[4] = static_cast<std::byte>(v);
+    auto decoded = decode(buf);
+    ASSERT_FALSE(decoded.is_ok()) << "verb " << v;
+    EXPECT_EQ(decoded.status().code(), ErrorCode::kInvalidArgument);
+  }
+}
+
+TEST(WireMsgTest, HelloRoundTrip) {
+  HelloMsg msg{kWireVersion, "tenant-a.1"};
+  auto parsed = parse_hello(build_hello(msg));
+  ASSERT_TRUE(parsed.is_ok());
+  EXPECT_EQ(parsed->version, kWireVersion);
+  EXPECT_EQ(parsed->tenant, "tenant-a.1");
+}
+
+TEST(WireMsgTest, GetRoundTrip) {
+  GetMsg msg{"rank0/ckpt-00000000000000000007", 4096, 65536};
+  auto parsed = parse_get(build_get(msg));
+  ASSERT_TRUE(parsed.is_ok());
+  EXPECT_EQ(parsed->key, msg.key);
+  EXPECT_EQ(parsed->offset, 4096u);
+  EXPECT_EQ(parsed->length, 65536u);
+}
+
+TEST(WireMsgTest, KeyStatListErrRoundTrip) {
+  auto key = parse_key_only(build_key_only("a/b/c"));
+  ASSERT_TRUE(key.is_ok());
+  EXPECT_EQ(*key, "a/b/c");
+
+  auto size = parse_stat_ok(build_stat_ok(1ull << 40));
+  ASSERT_TRUE(size.is_ok());
+  EXPECT_EQ(*size, 1ull << 40);
+
+  std::vector<std::string> keys{"rank0/ckpt-1", "rank0/ckpt-2", "commit/2"};
+  auto listed = parse_list_ok(build_list_ok(keys));
+  ASSERT_TRUE(listed.is_ok());
+  EXPECT_EQ(*listed, keys);
+
+  auto empty = parse_list_ok(build_list_ok({}));
+  ASSERT_TRUE(empty.is_ok());
+  EXPECT_TRUE(empty->empty());
+
+  auto err = parse_err_payload(build_err_payload("no such object: x"));
+  ASSERT_TRUE(err.is_ok());
+  EXPECT_EQ(*err, "no such object: x");
+}
+
+TEST(WireMsgTest, TruncationAtEveryByteFailsCleanly) {
+  // Chop each well-formed payload at every length short of full; the
+  // parser must fail (kInvalidArgument), never read past the span.
+  const std::vector<std::vector<std::byte>> payloads = {
+      build_hello({kWireVersion, "t"}),
+      build_get({"some/key", 7, 1234}),
+      build_key_only("rank1/ckpt-5"),
+      build_stat_ok(42),
+      build_list_ok({"a", "bb", "ccc"}),
+      build_err_payload("boom"),
+  };
+  for (const auto& full : payloads) {
+    for (std::size_t cut = 0; cut < full.size(); ++cut) {
+      std::span<const std::byte> part(full.data(), cut);
+      for (auto st : {parse_hello(part).status(), parse_get(part).status(),
+                      parse_key_only(part).status(),
+                      parse_stat_ok(part).status(),
+                      parse_list_ok(part).status(),
+                      parse_err_payload(part).status()}) {
+        if (!st.is_ok()) {
+          EXPECT_EQ(st.code(), ErrorCode::kInvalidArgument);
+        }
+      }
+    }
+  }
+}
+
+TEST(WireMsgTest, TrailingGarbageRejected) {
+  auto payload = build_stat_ok(9);
+  payload.push_back(std::byte{0x5A});
+  EXPECT_FALSE(parse_stat_ok(payload).is_ok());
+
+  auto hello = build_hello({kWireVersion, "t"});
+  hello.push_back(std::byte{0});
+  EXPECT_FALSE(parse_hello(hello).is_ok());
+}
+
+TEST(WireMsgTest, ListCountCannotForceAllocation) {
+  // A LIST_OK claiming 2^32-1 entries in a 4-byte payload must be
+  // rejected before any reserve happens.
+  std::vector<std::byte> payload;
+  put_u32(payload, 0xFFFFFFFFu);
+  auto parsed = parse_list_ok(payload);
+  ASSERT_FALSE(parsed.is_ok());
+  EXPECT_EQ(parsed.status().code(), ErrorCode::kInvalidArgument);
+}
+
+TEST(WireMsgTest, StringLengthPrefixBeyondCapRejected) {
+  std::vector<std::byte> payload;
+  put_u16(payload, 0xFFFF);  // claims a 65535-byte tenant
+  payload.resize(payload.size() + 16, std::byte{'x'});
+  std::vector<std::byte> hello;
+  put_u32(hello, kWireVersion);
+  hello.insert(hello.end(), payload.begin(), payload.end());
+  EXPECT_FALSE(parse_hello(hello).is_ok());
+}
+
+TEST(WireValidationTest, TenantAndKeyRules) {
+  EXPECT_TRUE(valid_tenant("default"));
+  EXPECT_TRUE(valid_tenant("team-a.prod_1"));
+  EXPECT_FALSE(valid_tenant(""));
+  EXPECT_FALSE(valid_tenant("a/b"));
+  EXPECT_FALSE(valid_tenant("spaced name"));
+  EXPECT_FALSE(valid_tenant(std::string(kMaxTenantLength + 1, 'a')));
+
+  EXPECT_TRUE(valid_key("rank0/ckpt-00000000000000000001"));
+  EXPECT_TRUE(valid_key("commit/7"));
+  EXPECT_FALSE(valid_key(""));
+  EXPECT_FALSE(valid_key("/abs"));
+  EXPECT_FALSE(valid_key("../escape"));
+  EXPECT_FALSE(valid_key("a/../b"));
+  EXPECT_FALSE(valid_key("tail/.."));
+  EXPECT_TRUE(valid_key("dots..inside/ok"));
+  EXPECT_FALSE(valid_key(std::string("k\x01") + "ey"));
+  EXPECT_FALSE(valid_key(std::string(kMaxKeyLength + 1, 'k')));
+}
+
+// Deterministic random-garbage sweep: headers and payloads of random
+// bytes and random lengths through every decode path.
+TEST(WireFuzzTest, RandomGarbageSweep) {
+  Rng rng(20260808);
+  for (int iter = 0; iter < 20000; ++iter) {
+    std::vector<std::byte> buf(rng.next_index(64));
+    for (auto& b : buf) {
+      b = static_cast<std::byte>(rng.next_index(256));
+    }
+    if (buf.size() >= kFrameHeaderSize) {
+      auto h = decode_frame_header(std::span<const std::byte,
+                                             kFrameHeaderSize>(
+          buf.data(), kFrameHeaderSize));
+      if (h.is_ok()) {
+        EXPECT_LE(h->len, kMaxFramePayload);
+      }
+    }
+    std::span<const std::byte> payload(buf);
+    (void)parse_hello(payload);
+    (void)parse_get(payload);
+    (void)parse_key_only(payload);
+    (void)parse_stat_ok(payload);
+    (void)parse_list_ok(payload);
+    (void)parse_err_payload(payload);
+  }
+}
+
+// Mutation fuzz: start from valid payloads, flip random bytes, and
+// require the parsers to stay well-behaved (ok or kInvalidArgument).
+TEST(WireFuzzTest, MutatedValidPayloadsSweep) {
+  Rng rng(424242);
+  for (int iter = 0; iter < 5000; ++iter) {
+    std::vector<std::byte> payload;
+    const std::uint64_t pick = rng.next_index(4);
+    if (pick == 0) {
+      payload = build_hello({kWireVersion, "tenant"});
+    } else if (pick == 1) {
+      payload = build_get({"rank0/ckpt-1", rng.next_u64(), rng.next_u64()});
+    } else if (pick == 2) {
+      payload = build_list_ok({"a/1", "a/2", "b/3"});
+    } else {
+      payload = build_key_only("rank0/ckpt-2");
+    }
+    const int flips = 1 + static_cast<int>(rng.next_index(4));
+    for (int f = 0; f < flips && !payload.empty(); ++f) {
+      payload[rng.next_index(payload.size())] =
+          static_cast<std::byte>(rng.next_index(256));
+    }
+    for (auto st : {parse_hello(payload).status(),
+                    parse_get(payload).status(),
+                    parse_list_ok(payload).status(),
+                    parse_key_only(payload).status()}) {
+      if (!st.is_ok()) {
+        EXPECT_EQ(st.code(), ErrorCode::kInvalidArgument);
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace ickpt::net

@@ -34,6 +34,13 @@
 //       Replay a saved write trace through the explicit engine and
 //       print the IWS per slice.
 //
+//   ickpt put KEY FILE / get KEY [FILE] / ls / del KEY
+//       Object-store operations against either a local file backend
+//       (--dir DIR) or a running ickptd (--addr HOST:PORT, optional
+//       --tenant).  `get` without FILE streams to stdout.  The same
+//       code path the Checkpointer uses, so a put/get round trip is
+//       byte-exact.
+//
 // All flags go through common/flags: unknown flags, malformed values
 // and unknown app/engine names are hard errors with exit code 2.
 #include <algorithm>
@@ -51,6 +58,7 @@
 #include "common/table.h"
 #include "common/units.h"
 #include "core/study.h"
+#include "net/remote_backend.h"
 #include "obs/flightrec.h"
 #include "obs/metrics.h"
 #include "obs/timer.h"
@@ -75,6 +83,15 @@ int usage() {
                "       ickpt stats [--iters N] [--json]\n"
                "       ickpt fsck DIR [--repair] [--trace FILE]\n"
                "       ickpt replay TRACE.wt\n"
+               "       ickpt put KEY FILE (--dir DIR | --addr HOST:PORT)\n"
+               "                   [--tenant T] [--trace FILE]\n"
+               "       ickpt get KEY [FILE] (--dir DIR | --addr "
+               "HOST:PORT)\n"
+               "                   [--tenant T] [--trace FILE]\n"
+               "       ickpt ls  (--dir DIR | --addr HOST:PORT) "
+               "[--tenant T]\n"
+               "       ickpt del KEY (--dir DIR | --addr HOST:PORT) "
+               "[--tenant T]\n"
                "('ickpt <command> --help' lists every flag.)\n");
   return 2;
 }
@@ -471,6 +488,205 @@ int cmd_fsck(int argc, char** argv) {
   return report->healthy() ? 0 : 1;
 }
 
+// ------------------------------------------------------------- store ops
+
+/// Shared target selection for put/get/ls/del: exactly one of a local
+/// file-backend directory or a remote ickptd address.
+struct StoreTarget {
+  std::string dir;
+  std::string addr;
+  std::string tenant = "default";
+  std::string span_trace_path;
+  bool help = false;
+};
+
+void add_store_flags(FlagSet& flags, StoreTarget* target) {
+  flags.add_string("dir", &target->dir, "local file-backend directory");
+  flags.add_string("addr", &target->addr, "remote ickptd HOST:PORT");
+  flags.add_string("tenant", &target->tenant,
+                   "tenant namespace on the daemon");
+  flags.add_string("trace", &target->span_trace_path,
+                   "record span tracing and write Chrome/Perfetto "
+                   "trace-event JSON here");
+  flags.add_bool("help", &target->help, "show this help");
+}
+
+Result<std::unique_ptr<storage::StorageBackend>> open_store(
+    const StoreTarget& target) {
+  if (target.dir.empty() == target.addr.empty()) {
+    return invalid_argument(
+        "ickpt: exactly one of --dir and --addr is required");
+  }
+  if (!target.dir.empty()) return storage::make_file_backend(target.dir);
+  ICKPT_ASSIGN_OR_RETURN(host_port, net::parse_host_port(target.addr));
+  storage::RemoteBackendOptions options;
+  options.host = host_port.first;
+  options.port = host_port.second;
+  options.tenant = target.tenant;
+  return storage::make_remote_backend(options);
+}
+
+int store_error(const char* op, const Status& st) {
+  std::fprintf(stderr, "%s: %s\n", op, st.to_string().c_str());
+  return 1;
+}
+
+int cmd_store_put(int argc, char** argv) {
+  StoreTarget target;
+  FlagSet flags("ickpt put KEY FILE");
+  add_store_flags(flags, &target);
+  flags.allow_positional(true);
+  auto parsed = flags.parse(argc, argv, 2);
+  if (!parsed.is_ok()) return flag_error(parsed, flags);
+  if (target.help) {
+    std::printf("%s", flags.help().c_str());
+    return 0;
+  }
+  if (flags.positional().size() != 2) return usage();
+  const std::string& key = flags.positional()[0];
+  const std::string& file = flags.positional()[1];
+  if (!target.span_trace_path.empty()) obs::start_tracing();
+
+  auto store = open_store(target);
+  if (!store.is_ok()) return store_error("put", store.status());
+  std::FILE* in = std::fopen(file.c_str(), "rb");
+  if (in == nullptr) {
+    std::fprintf(stderr, "put: cannot open %s\n", file.c_str());
+    return 1;
+  }
+  int rc = [&] {
+    obs::TraceSpan span(obs::trace_name("cli.put", obs::TraceCat::kNet));
+    auto writer = (*store)->create(key);
+    if (!writer.is_ok()) return store_error("put", writer.status());
+    std::vector<std::byte> buf(1u << 20);
+    for (;;) {
+      const std::size_t got = std::fread(buf.data(), 1, buf.size(), in);
+      if (got == 0) break;
+      auto st = (*writer)->write({buf.data(), got});
+      if (!st.is_ok()) return store_error("put", st);
+    }
+    if (std::ferror(in) != 0) {
+      std::fprintf(stderr, "put: read error on %s\n", file.c_str());
+      return 1;
+    }
+    const auto bytes = (*writer)->bytes_written();
+    auto st = (*writer)->close();
+    if (!st.is_ok()) return store_error("put", st);
+    std::printf("put %s (%llu bytes)\n", key.c_str(),
+                static_cast<unsigned long long>(bytes));
+    return 0;
+  }();
+  std::fclose(in);
+  if (rc == 0 && finish_span_trace(target.span_trace_path) != 0) rc = 1;
+  return rc;
+}
+
+int cmd_store_get(int argc, char** argv) {
+  StoreTarget target;
+  FlagSet flags("ickpt get KEY [FILE]");
+  add_store_flags(flags, &target);
+  flags.allow_positional(true);
+  auto parsed = flags.parse(argc, argv, 2);
+  if (!parsed.is_ok()) return flag_error(parsed, flags);
+  if (target.help) {
+    std::printf("%s", flags.help().c_str());
+    return 0;
+  }
+  if (flags.positional().empty() || flags.positional().size() > 2) {
+    return usage();
+  }
+  const std::string& key = flags.positional()[0];
+  const bool to_stdout = flags.positional().size() < 2;
+  if (!target.span_trace_path.empty()) obs::start_tracing();
+
+  auto store = open_store(target);
+  if (!store.is_ok()) return store_error("get", store.status());
+  std::FILE* out =
+      to_stdout ? stdout : std::fopen(flags.positional()[1].c_str(), "wb");
+  if (out == nullptr) {
+    std::fprintf(stderr, "get: cannot write %s\n",
+                 flags.positional()[1].c_str());
+    return 1;
+  }
+  int rc = [&] {
+    obs::TraceSpan span(obs::trace_name("cli.get", obs::TraceCat::kNet));
+    auto reader = (*store)->open(key);
+    if (!reader.is_ok()) return store_error("get", reader.status());
+    std::vector<std::byte> buf(1u << 20);
+    std::uint64_t total = 0;
+    for (;;) {
+      auto got = (*reader)->read(buf);
+      if (!got.is_ok()) return store_error("get", got.status());
+      if (*got == 0) break;
+      if (std::fwrite(buf.data(), 1, *got, out) != *got) {
+        std::fprintf(stderr, "get: short write\n");
+        return 1;
+      }
+      total += *got;
+    }
+    if (!to_stdout) {
+      std::printf("got %s (%llu bytes)\n", key.c_str(),
+                  static_cast<unsigned long long>(total));
+    }
+    return 0;
+  }();
+  if (!to_stdout) std::fclose(out);
+  if (rc == 0 && finish_span_trace(target.span_trace_path) != 0) rc = 1;
+  return rc;
+}
+
+int cmd_store_ls(int argc, char** argv) {
+  StoreTarget target;
+  FlagSet flags("ickpt ls");
+  add_store_flags(flags, &target);
+  auto parsed = flags.parse(argc, argv, 2);
+  if (!parsed.is_ok()) return flag_error(parsed, flags);
+  if (target.help) {
+    std::printf("%s", flags.help().c_str());
+    return 0;
+  }
+  if (!target.span_trace_path.empty()) obs::start_tracing();
+
+  auto store = open_store(target);
+  if (!store.is_ok()) return store_error("ls", store.status());
+  auto keys = [&] {
+    obs::TraceSpan span(obs::trace_name("cli.ls", obs::TraceCat::kNet));
+    return (*store)->list();
+  }();
+  if (!keys.is_ok()) return store_error("ls", keys.status());
+  std::sort(keys->begin(), keys->end());
+  for (const auto& key : *keys) std::printf("%s\n", key.c_str());
+  if (finish_span_trace(target.span_trace_path) != 0) return 1;
+  return 0;
+}
+
+int cmd_store_del(int argc, char** argv) {
+  StoreTarget target;
+  FlagSet flags("ickpt del KEY");
+  add_store_flags(flags, &target);
+  flags.allow_positional(true);
+  auto parsed = flags.parse(argc, argv, 2);
+  if (!parsed.is_ok()) return flag_error(parsed, flags);
+  if (target.help) {
+    std::printf("%s", flags.help().c_str());
+    return 0;
+  }
+  if (flags.positional().size() != 1) return usage();
+  const std::string& key = flags.positional()[0];
+  if (!target.span_trace_path.empty()) obs::start_tracing();
+
+  auto store = open_store(target);
+  if (!store.is_ok()) return store_error("del", store.status());
+  auto st = [&] {
+    obs::TraceSpan span(obs::trace_name("cli.del", obs::TraceCat::kNet));
+    return (*store)->remove(key);
+  }();
+  if (!st.is_ok()) return store_error("del", st);
+  std::printf("deleted %s\n", key.c_str());
+  if (finish_span_trace(target.span_trace_path) != 0) return 1;
+  return 0;
+}
+
 int cmd_replay(const char* path) {
   auto loaded = trace::WriteTrace::load(path);
   if (!loaded.is_ok()) {
@@ -504,5 +720,9 @@ int main(int argc, char** argv) {
   if (cmd == "stats") return cmd_stats(argc, argv);
   if (cmd == "fsck") return cmd_fsck(argc, argv);
   if (cmd == "replay" && argc >= 3) return cmd_replay(argv[2]);
+  if (cmd == "put") return cmd_store_put(argc, argv);
+  if (cmd == "get") return cmd_store_get(argc, argv);
+  if (cmd == "ls") return cmd_store_ls(argc, argv);
+  if (cmd == "del") return cmd_store_del(argc, argv);
   return usage();
 }
