@@ -12,6 +12,7 @@
 
 #include <atomic>
 #include <cstring>
+#include <filesystem>
 #include <thread>
 
 #include "common/rng.h"
@@ -19,6 +20,7 @@
 #include "net/server.h"
 #include "obs/metrics.h"
 #include "storage/backend.h"
+#include "storage/segment_backend.h"
 
 using namespace ickpt;
 using namespace ickpt::bench;
@@ -184,6 +186,74 @@ int main(int argc, char** argv) {
 
   (*server)->stop();
   serve_thread.join();
+
+  // Segment-served arms: the same wire traffic against a daemon whose
+  // store is the on-disk log-structured backend — the deployment shape
+  // of `ickptd --backend segment`.
+  {
+    const std::string dir = "ablation_net_segstore";
+    std::filesystem::remove_all(dir);
+    auto seg_backend = storage::make_segment_backend(dir);
+    if (!seg_backend.is_ok()) {
+      std::cerr << "segment backend: " << seg_backend.status().to_string()
+                << "\n";
+      return 1;
+    }
+    auto seg_server = net::Server::create(**seg_backend);
+    if (!seg_server.is_ok()) {
+      std::cerr << "segment server: " << seg_server.status().to_string()
+                << "\n";
+      return 1;
+    }
+    std::thread seg_serve([&] { (void)(*seg_server)->serve(); });
+
+    Workload w;
+    w.streams = 8;
+    w.objects_per_stream = args.quick ? 2 : 4;
+    w.object_size = args.quick ? 256u * 1024 : 1u << 20;
+
+    storage::RemoteBackendOptions options;
+    options.host = "127.0.0.1";
+    options.port = (*seg_server)->port();
+    options.pool_size = w.streams;
+    options.io_timeout_s = 120.0;
+    auto remote = storage::make_remote_backend(options);
+    if (!remote.is_ok()) {
+      std::cerr << "connect: " << remote.status().to_string() << "\n";
+      return 1;
+    }
+
+    for (const char* dir_name : {"put", "get"}) {
+      const std::string arm = std::string("segment_") + dir_name + "_s" +
+                              std::to_string(w.streams);
+      bool ok = true;
+      const auto t0 = std::chrono::steady_clock::now();
+      json.run_arm(arm, w.total_bytes(), [&] {
+        ok = fan_out(w.streams, [&](std::size_t t) {
+          return std::string(dir_name) == "put" ? put_all(**remote, w, t)
+                                                : get_all(**remote, w, t);
+        });
+      });
+      const double wall =
+          std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                        t0)
+              .count();
+      const double mb =
+          static_cast<double>(w.total_bytes()) / (1024.0 * 1024.0);
+      table.add_row({arm, std::to_string(w.streams), TextTable::num(mb, 1),
+                     TextTable::num(wall, 3), TextTable::num(mb / wall, 1)});
+      if (!ok) {
+        std::cerr << arm << ": FAILED (error or byte mismatch)\n";
+        all_ok = false;
+      }
+    }
+
+    remote->reset();
+    (*seg_server)->stop();
+    seg_serve.join();
+    seg_backend->reset();
+    std::filesystem::remove_all(dir);
+  }
 
   const std::uint64_t errors = protocol_errors.value() - errors_before;
   std::cout << "concurrent streams peak: "

@@ -19,6 +19,7 @@
 #include "memtrack/explicit_engine.h"
 #include "region/address_space.h"
 #include "storage/backend.h"
+#include "storage/segment_backend.h"
 
 using namespace ickpt;
 using namespace ickpt::bench;
@@ -81,6 +82,26 @@ double time_config(region::AddressSpace& space, int threads, bool compress,
                    bool async, int reps) {
   auto storage = storage::make_null_backend();
   return time_config_into(space, *storage, threads, compress, async, reps);
+}
+
+/// Seconds to publish `count` small objects (one incremental-sized
+/// record each) into `backend` — the many-small-objects cliff: every
+/// FileBackend object costs open + rename + two durable syncs + a
+/// directory entry, while SegmentBackend pays one append + one
+/// fdatasync on an already-open fd.
+double time_small_objects(storage::StorageBackend& backend, int count,
+                          std::span<const std::byte> payload) {
+  const auto t0 = std::chrono::steady_clock::now();
+  for (int i = 0; i < count; ++i) {
+    auto writer = backend.create("small/" + std::to_string(i));
+    if (!writer.is_ok() || !(*writer)->write(payload).is_ok() ||
+        !(*writer)->close().is_ok()) {
+      std::cerr << "small-object write " << i << " failed\n";
+      std::exit(1);
+    }
+  }
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+      .count();
 }
 
 }  // namespace
@@ -176,6 +197,70 @@ int main(int argc, char** argv) {
                    TextTable::num(set_mb * reps / secs, 0),
                    TextTable::num(1.0, 2)});
     std::filesystem::remove_all(dir);
+  }
+
+  // Segment-sink arm: the same encode into the log-structured store.
+  {
+    const std::string dir = "ablation_parallel_encode_segsink";
+    std::filesystem::remove_all(dir);
+    auto seg_backend = storage::make_segment_backend(dir);
+    if (!seg_backend.is_ok()) {
+      std::cerr << "segment backend: " << seg_backend.status().to_string()
+                << "\n";
+      return 1;
+    }
+    double secs = 0;
+    bench_json.run_arm("segment_write", arm_bytes, [&] {
+      secs = time_config_into(space, **seg_backend, file_threads,
+                              /*compress=*/false, /*async=*/false, reps);
+    });
+    table.add_row({TextTable::num(file_threads, 0), "off", "segment",
+                   TextTable::num(secs, 3),
+                   TextTable::num(set_mb * reps / secs, 0),
+                   TextTable::num(1.0, 2)});
+    seg_backend->reset();
+    std::filesystem::remove_all(dir);
+  }
+
+  // Many-small-objects arms: publish `small_count` tiny objects with
+  // default (durable) options through each backend.  This is the
+  // workload shape of frequent small incrementals, where FileBackend's
+  // per-object metadata cost dominates.
+  {
+    const int small_count = args.quick ? 2000 : 12000;
+    const std::size_t small_size = 2 * 1024;
+    std::vector<std::byte> payload(small_size);
+    Rng prng(7);
+    for (auto& b : payload) b = static_cast<std::byte>(prng.next_u64());
+    const std::uint64_t small_bytes =
+        static_cast<std::uint64_t>(small_count) * small_size;
+    for (bool segment : {false, true}) {
+      const std::string dir = "ablation_parallel_encode_smallobj";
+      std::filesystem::remove_all(dir);
+      Result<std::unique_ptr<storage::StorageBackend>> backend =
+          segment ? storage::make_segment_backend(dir)
+                  : storage::make_file_backend(dir);
+      if (!backend.is_ok()) {
+        std::cerr << "smallobj backend: " << backend.status().to_string()
+                  << "\n";
+        return 1;
+      }
+      double secs = 0;
+      bench_json.run_arm(segment ? "smallobj_segment" : "smallobj_file",
+                         small_bytes, [&] {
+                           secs = time_small_objects(**backend, small_count,
+                                                     payload);
+                         });
+      table.add_row({TextTable::num(1, 0), "off",
+                     segment ? "smallobj segment" : "smallobj file",
+                     TextTable::num(secs, 3),
+                     TextTable::num(static_cast<double>(small_bytes) /
+                                        static_cast<double>(kMB) / secs,
+                                    1),
+                     TextTable::num(1.0, 2)});
+      backend->reset();
+      std::filesystem::remove_all(dir);
+    }
   }
 
   finish(table, "ablation_parallel_encode.csv");

@@ -22,6 +22,7 @@
 #include "obs/metrics.h"
 #include "region/address_space.h"
 #include "storage/backend.h"
+#include "storage/segment_backend.h"
 
 using namespace ickpt;
 using namespace ickpt::bench;
@@ -273,6 +274,63 @@ int main(int argc, char** argv) {
                               : 1.0,
                           2)});
     }
+    std::filesystem::remove_all(dir);
+  }
+  // Segment-backed arms: the same shape of chain in the log-structured
+  // store, decoded through read_at and through per-object mmap windows.
+  // Byte identity against the serial restorer is asserted as above.
+  {
+    const int incrementals = args.quick ? 3 : 7;
+    const std::string dir = "ablation_restore_segchain";
+    std::filesystem::remove_all(dir);
+    auto seg_backend = storage::make_segment_backend(dir);
+    if (!seg_backend.is_ok()) {
+      std::cerr << "segment backend: " << seg_backend.status().to_string()
+                << "\n";
+      return 1;
+    }
+    build_chain(**seg_backend, mb, incrementals, rng);
+    const std::string chain_label = "1+" + std::to_string(incrementals);
+
+    auto reference = checkpoint::restore_chain_serial(**seg_backend, 0);
+    if (!reference.is_ok()) std::exit(1);
+
+    double read_secs = 0;
+    for (bool map_reads : {false, true}) {
+      checkpoint::RestoreOptions opts;
+      opts.decode_threads = pool_threads;
+      opts.map_reads = map_reads;
+      Timed t;
+      bench_json.run_arm(std::string("segment_chain") + chain_label +
+                             (map_reads ? "_mmap" : "_read"),
+                         arm_bytes, [&] {
+                           t = time_restore(
+                               [&] {
+                                 auto s = checkpoint::restore_chain(
+                                     **seg_backend, 0, opts);
+                                 if (!s.is_ok()) std::exit(1);
+                                 if (!states_identical(*reference, *s)) {
+                                   std::cerr << "BYTE IDENTITY FAILED: "
+                                                "segment-backed map_reads="
+                                             << map_reads << "\n";
+                                   std::exit(1);
+                                 }
+                               },
+                               reps);
+                         });
+      if (!map_reads) read_secs = t.seconds;
+      table.add_row(
+          {chain_label + " (seg)", map_reads ? "mmap decode" : "read decode",
+           TextTable::num(t.seconds, 4),
+           TextTable::num(static_cast<double>(mb) / t.seconds, 0),
+           TextTable::num(static_cast<double>(t.decoded), 0),
+           TextTable::num(static_cast<double>(t.skipped), 0),
+           TextTable::num(map_reads && t.seconds > 0
+                              ? read_secs / t.seconds
+                              : 1.0,
+                          2)});
+    }
+    seg_backend->reset();
     std::filesystem::remove_all(dir);
   }
 

@@ -1,5 +1,6 @@
 #include "common/io_util.h"
 
+#include <sys/socket.h>
 #include <unistd.h>
 
 #include <cerrno>
@@ -30,6 +31,20 @@ Status write_full(int fd, std::span<const std::byte> data) {
     if (got < 0) {
       if (errno == EINTR) continue;
       return io_error(std::string("write failed: ") + std::strerror(errno));
+    }
+    done += static_cast<std::size_t>(got);
+  }
+  return Status::ok();
+}
+
+Status send_full(int fd, std::span<const std::byte> data) {
+  std::size_t done = 0;
+  while (done < data.size()) {
+    const ssize_t got =
+        ::send(fd, data.data() + done, data.size() - done, MSG_NOSIGNAL);
+    if (got < 0) {
+      if (errno == EINTR) continue;
+      return io_error(std::string("send failed: ") + std::strerror(errno));
     }
     done += static_cast<std::size_t>(got);
   }

@@ -27,6 +27,13 @@ Result<std::size_t> read_full(int fd, std::span<std::byte> out);
 /// Write all of `data` to `fd`, retrying EINTR and short writes.
 Status write_full(int fd, std::span<const std::byte> data);
 
+/// write_full for socket fds: uses send(2) with MSG_NOSIGNAL, so a
+/// peer that closed the connection surfaces as a kIoError (EPIPE)
+/// instead of delivering SIGPIPE and killing the process.  Use this
+/// for every socket write; keep write_full for regular files, where
+/// send() is not applicable.
+Status send_full(int fd, std::span<const std::byte> data);
+
 /// Read exactly out.size() bytes from a streaming source.  `rd` is any
 /// callable with the storage::Reader::read contract: fill up to the
 /// span, return the count, 0 at EOF.  Returns the total read —

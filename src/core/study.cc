@@ -15,6 +15,7 @@
 #include "sim/sampler.h"
 #include "sim/virtual_clock.h"
 #include "storage/backend.h"
+#include "storage/segment_backend.h"
 
 namespace ickpt {
 
@@ -74,7 +75,9 @@ RankOutcome run_rank(const StudyConfig& config, double run_vs,
   std::unique_ptr<storage::MeteredBackend> ckpt_metered;
   std::unique_ptr<checkpoint::Checkpointer> ckpt;
   if (!config.checkpoint_dir.empty() && rank == 0) {
-    auto backend = storage::make_file_backend(config.checkpoint_dir);
+    auto backend = config.segment_store
+                       ? storage::make_segment_backend(config.checkpoint_dir)
+                       : storage::make_file_backend(config.checkpoint_dir);
     if (!backend.is_ok()) {
       out.status = backend.status();
       return out;

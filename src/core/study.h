@@ -37,6 +37,9 @@ struct StudyConfig {
   /// timeslice — the study then measures checkpointing itself, not
   /// just the dirty-page series it would consume.
   std::string checkpoint_dir;
+  /// Store the chain in a log-structured segment store instead of
+  /// one-file-per-object (storage::SegmentBackend vs FileBackend).
+  bool segment_store = false;
   int encode_threads = 1;       ///< page-encode workers (see Checkpointer)
   bool async_writes = false;    ///< overlap backend I/O via AsyncWriter
   bool compress = true;         ///< per-page compression for the chain

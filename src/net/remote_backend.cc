@@ -83,7 +83,9 @@ class Connection {
 
   Status send(Verb verb, std::span<const std::byte> payload) {
     auto frame = net::build_frame(verb, payload);
-    auto st = ioutil::write_full(fd_, frame);
+    // send_full, not write_full: a daemon that closes mid-PUT must
+    // surface as a Status (EPIPE), not SIGPIPE-kill the application.
+    auto st = ioutil::send_full(fd_, frame);
     if (!st.is_ok()) healthy_ = false;
     return st;
   }

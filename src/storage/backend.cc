@@ -19,6 +19,8 @@
 
 #include "common/io_util.h"
 #include "obs/metrics.h"
+#include "obs/timer.h"
+#include "obs/trace.h"
 
 namespace ickpt::storage {
 
@@ -41,6 +43,70 @@ struct DirectIoMetrics {
     return m;
   }
 };
+
+/// Durable-publish observability, shared by every backend that syncs:
+/// fsync/fdatasync syscalls issued and the wall time one publish
+/// spends waiting on the device.
+struct SyncMetrics {
+  obs::Counter& fsync_calls;
+  obs::Histogram& publish_sync_ns;
+  std::uint16_t span;
+
+  static SyncMetrics& get() {
+    auto& r = obs::registry();
+    static SyncMetrics m{
+        r.counter("storage.fsync_calls"),
+        r.histogram("storage.publish_sync_ns"),
+        obs::trace_name("ckpt.publish_sync", obs::TraceCat::kStorage)};
+    return m;
+  }
+};
+
+// Test-only fault injection (see testing_hooks in backend.h).
+std::atomic<std::size_t> g_forced_direct_block{0};
+std::atomic<int> g_einval_writes{0};
+
+/// True when the test hook says this write syscall must fail EINVAL.
+bool consume_einval_fault() {
+  int n = g_einval_writes.load(std::memory_order_relaxed);
+  while (n > 0) {
+    if (g_einval_writes.compare_exchange_weak(n, n - 1,
+                                              std::memory_order_relaxed)) {
+      return true;
+    }
+  }
+  return false;
+}
+
+/// fdatasync `fd`, counting the call; kIoError on failure.
+Status synced_fdatasync(int fd, const fs::path& what) {
+  SyncMetrics::get().fsync_calls.inc();
+  if (::fdatasync(fd) != 0) {
+    return io_error("fdatasync failed: " + what.string() + ": " +
+                    std::strerror(errno));
+  }
+  return Status::ok();
+}
+
+/// fsync the directory containing `child` so its rename/creation is
+/// itself durable (a renamed file is lost on power loss until the
+/// directory entry reaches the journal).
+Status sync_parent_dir(const fs::path& child) {
+  const fs::path dir = child.parent_path();
+  int fd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY | O_CLOEXEC);
+  if (fd < 0) {
+    return io_error("open dir for fsync failed: " + dir.string() + ": " +
+                    std::strerror(errno));
+  }
+  SyncMetrics::get().fsync_calls.inc();
+  const int rc = ::fsync(fd);
+  ::close(fd);
+  if (rc != 0) {
+    return io_error("fsync dir failed: " + dir.string() + ": " +
+                    std::strerror(errno));
+  }
+  return Status::ok();
+}
 
 /// Block-aligned heap buffer for O_DIRECT staging.
 class AlignedBuf {
@@ -89,36 +155,65 @@ std::size_t probe_direct_block_size(const fs::path& dir) {
   return found;
 }
 
+/// Publish `tmp` as `final_path`: optionally fdatasync the written
+/// bytes, rename, then fsync the parent directory.  The sync pair is
+/// what makes the atomic-rename publish *crash*-atomic — without it a
+/// power loss can surface the renamed object empty (data never hit the
+/// device) or lose the rename entirely (directory entry never hit the
+/// journal).  `fd` must still be open on the tmp file when durable.
+Status publish_file(int fd, const fs::path& tmp, const fs::path& final_path,
+                    bool durable) {
+  obs::ScopedTimer timer(SyncMetrics::get().publish_sync_ns);
+  obs::TraceSpan span(SyncMetrics::get().span);
+  const Status sync_st =
+      durable ? synced_fdatasync(fd, tmp) : Status::ok();
+  const int close_rc = ::close(fd);  // fd is consumed on every path
+  ICKPT_RETURN_IF_ERROR(sync_st);
+  if (close_rc != 0) {
+    return io_error("close failed: " + tmp.string());
+  }
+  std::error_code ec;
+  fs::rename(tmp, final_path, ec);
+  if (ec) return io_error("rename failed: " + ec.message());
+  if (durable) ICKPT_RETURN_IF_ERROR(sync_parent_dir(final_path));
+  if (!durable) {
+    timer.cancel();  // nothing was synced; keep the histogram honest
+  }
+  return Status::ok();
+}
+
 class FileWriter final : public Writer {
  public:
-  FileWriter(fs::path tmp, fs::path final_path,
+  FileWriter(fs::path tmp, fs::path final_path, bool durable,
              std::atomic<std::uint64_t>* total)
-      : tmp_(std::move(tmp)), final_(std::move(final_path)), total_(total) {
-    os_.open(tmp_, std::ios::binary | std::ios::trunc);
+      : tmp_(std::move(tmp)),
+        final_(std::move(final_path)),
+        durable_(durable),
+        total_(total) {
+    fd_ = ::open(tmp_.c_str(), O_WRONLY | O_CREAT | O_TRUNC | O_CLOEXEC,
+                 0644);
   }
   ~FileWriter() override {
     if (!closed_) {
-      os_.close();
+      if (fd_ >= 0) ::close(fd_);
       std::error_code ec;
       fs::remove(tmp_, ec);  // abort: discard partial object
     }
   }
   Status write(std::span<const std::byte> data) override {
     if (closed_) return failed_precondition("write after close");
-    os_.write(reinterpret_cast<const char*>(data.data()),
-              static_cast<std::streamsize>(data.size()));
-    if (!os_) return io_error("file write failed: " + tmp_.string());
+    if (fd_ < 0) return io_error("file open failed: " + tmp_.string());
+    auto st = ioutil::write_full(fd_, data);
+    if (!st.is_ok()) return io_error("file write failed: " + tmp_.string());
     bytes_ += data.size();
     return Status::ok();
   }
   Status close() override {
     if (closed_) return Status::ok();
-    os_.flush();
-    if (!os_) return io_error("flush failed: " + tmp_.string());
-    os_.close();
-    std::error_code ec;
-    fs::rename(tmp_, final_, ec);
-    if (ec) return io_error("rename failed: " + ec.message());
+    if (fd_ < 0) return io_error("file open failed: " + tmp_.string());
+    auto st = publish_file(fd_, tmp_, final_, durable_);
+    fd_ = -1;  // publish_file closed it (or it is unusable)
+    ICKPT_RETURN_IF_ERROR(st);
     closed_ = true;
     total_->fetch_add(bytes_, std::memory_order_relaxed);
     return Status::ok();
@@ -127,8 +222,9 @@ class FileWriter final : public Writer {
 
  private:
   fs::path tmp_, final_;
-  std::ofstream os_;
+  int fd_ = -1;
   std::uint64_t bytes_ = 0;
+  bool durable_;
   bool closed_ = false;
   std::atomic<std::uint64_t>* total_;
 };
@@ -148,11 +244,12 @@ class DirectFileWriter final : public Writer {
   static constexpr std::size_t kStageSize = 1u << 20;
 
   DirectFileWriter(fs::path tmp, fs::path final_path, std::size_t block,
-                   std::atomic<std::uint64_t>* total)
+                   bool durable, std::atomic<std::uint64_t>* total)
       : tmp_(std::move(tmp)),
         final_(std::move(final_path)),
         total_(total),
         block_(block),
+        durable_(durable),
         stage_(block, kStageSize) {
     fd_ = ::open(tmp_.c_str(),
                  O_WRONLY | O_CREAT | O_TRUNC | O_DIRECT | O_CLOEXEC, 0644);
@@ -206,14 +303,9 @@ class DirectFileWriter final : public Writer {
       drop_direct();
       ICKPT_RETURN_IF_ERROR(drain(fill_));
     }
-    if (::close(fd_) != 0) {
-      fd_ = -1;
-      return io_error("close failed: " + tmp_.string());
-    }
-    fd_ = -1;
-    std::error_code ec;
-    fs::rename(tmp_, final_, ec);
-    if (ec) return io_error("rename failed: " + ec.message());
+    auto st = publish_file(fd_, tmp_, final_, durable_);
+    fd_ = -1;  // publish_file consumed it
+    ICKPT_RETURN_IF_ERROR(st);
     closed_ = true;
     total_->fetch_add(bytes_, std::memory_order_relaxed);
     return Status::ok();
@@ -222,12 +314,26 @@ class DirectFileWriter final : public Writer {
   std::uint64_t bytes_written() const noexcept override { return bytes_; }
 
  private:
+  /// One data-write syscall, with the test fault hook applied.
+  ssize_t raw_write(const void* buf, std::size_t n) {
+    if (consume_einval_fault()) {
+      errno = EINVAL;
+      return -1;
+    }
+    return ::write(fd_, buf, n);
+  }
+
   /// Write the first `n` staged bytes at the current file offset.  On
-  /// EINVAL in direct mode, downgrade to buffered and retry.
+  /// EINVAL in direct mode, downgrade to buffered and retry.  EINVAL
+  /// can also surface *after* the downgrade (the F_SETFL drop is
+  /// advisory — some filesystems keep rejecting unaligned writes on an
+  /// fd opened O_DIRECT): that lands in the same counted fallback path
+  /// by reopening the tmp file without O_DIRECT at the current offset,
+  /// never in an opaque io_error.
   Status drain(std::size_t n) {
     std::size_t done = 0;
     while (done < n && direct_) {
-      ssize_t got = ::write(fd_, stage_.data() + done, n - done);
+      ssize_t got = raw_write(stage_.data() + done, n - done);
       if (got < 0) {
         if (errno == EINTR) continue;
         if (errno == EINVAL) {
@@ -239,14 +345,18 @@ class DirectFileWriter final : public Writer {
       }
       done += static_cast<std::size_t>(got);
     }
-    if (done < n) {
-      auto st = ioutil::write_full(
-          fd_, {reinterpret_cast<const std::byte*>(stage_.data()) + done,
-                n - done});
-      if (!st.is_ok()) {
+    while (done < n) {
+      ssize_t got = raw_write(stage_.data() + done, n - done);
+      if (got < 0) {
+        if (errno == EINTR) continue;
+        if (errno == EINVAL && !reopened_) {
+          DirectIoMetrics::get().fallbacks.inc();
+          ICKPT_RETURN_IF_ERROR(reopen_buffered());
+          continue;
+        }
         return io_error("file write failed: " + tmp_.string());
       }
-      done = n;
+      done += static_cast<std::size_t>(got);
     }
     // Shift any remainder (only on the close() tail path, where a
     // partial drain never happens mid-buffer) and reset the fill.
@@ -262,14 +372,35 @@ class DirectFileWriter final : public Writer {
     if (flags >= 0) ::fcntl(fd_, F_SETFL, flags & ~O_DIRECT);
   }
 
+  /// Last-resort EINVAL recovery: swap the fd for one opened without
+  /// O_DIRECT, positioned where the old one stopped.  Done at most
+  /// once per writer.
+  Status reopen_buffered() {
+    reopened_ = true;
+    const off_t off = ::lseek(fd_, 0, SEEK_CUR);
+    if (off < 0) return io_error("lseek failed: " + tmp_.string());
+    int fresh = ::open(tmp_.c_str(), O_WRONLY | O_CLOEXEC);
+    if (fresh < 0) return io_error("reopen failed: " + tmp_.string());
+    if (::lseek(fresh, off, SEEK_SET) != off) {
+      ::close(fresh);
+      return io_error("lseek failed: " + tmp_.string());
+    }
+    ::close(fd_);
+    fd_ = fresh;
+    direct_ = false;
+    return Status::ok();
+  }
+
   fs::path tmp_, final_;
   std::atomic<std::uint64_t>* total_;
   std::size_t block_;
+  bool durable_;
   AlignedBuf stage_;
   std::size_t fill_ = 0;
   std::uint64_t bytes_ = 0;
   int fd_ = -1;
   bool direct_ = true;
+  bool reopened_ = false;
   bool closed_ = false;
 };
 
@@ -349,12 +480,13 @@ class FileBackend final : public StorageBackend {
     if (options_.direct_io) {
       const std::size_t block = direct_block_size();
       if (block > 0) {
-        return std::unique_ptr<Writer>(
-            new DirectFileWriter(tmp, final_path, block, &total_));
+        return std::unique_ptr<Writer>(new DirectFileWriter(
+            tmp, final_path, block, options_.durable_publish, &total_));
       }
       // Probe said no (counted once, below): buffered writes.
     }
-    auto w = std::make_unique<FileWriter>(tmp, final_path, &total_);
+    auto w = std::make_unique<FileWriter>(tmp, final_path,
+                                          options_.durable_publish, &total_);
     return std::unique_ptr<Writer>(std::move(w));
   }
 
@@ -378,7 +510,9 @@ class FileBackend final : public StorageBackend {
     std::error_code ec;
     for (auto it = fs::recursive_directory_iterator(dir_, ec);
          !ec && it != fs::recursive_directory_iterator(); ++it) {
-      if (it->is_regular_file()) {
+      // ".tmp" siblings are unpublished writes (possibly left behind
+      // by a crash mid-publish) — never visible objects.
+      if (it->is_regular_file() && it->path().extension() != ".tmp") {
         keys.push_back(fs::relative(it->path(), dir_).string());
       }
     }
@@ -401,6 +535,9 @@ class FileBackend final : public StorageBackend {
   /// One probe per directory, not per write: the answer is a property
   /// of the filesystem under `dir_`.
   std::size_t direct_block_size() {
+    const std::size_t forced =
+        g_forced_direct_block.load(std::memory_order_relaxed);
+    if (forced > 0) return forced;
     std::call_once(probe_once_, [this] {
       probed_block_ = probe_direct_block_size(dir_);
       if (probed_block_ == 0) DirectIoMetrics::get().fallbacks.inc();
@@ -416,6 +553,15 @@ class FileBackend final : public StorageBackend {
 };
 
 }  // namespace
+
+namespace testing_hooks {
+void force_direct_block_size(std::size_t block) {
+  g_forced_direct_block.store(block, std::memory_order_relaxed);
+}
+void fail_writes_einval(int n) {
+  g_einval_writes.store(n, std::memory_order_relaxed);
+}
+}  // namespace testing_hooks
 
 Result<std::unique_ptr<StorageBackend>> make_file_backend(
     const std::string& directory) {

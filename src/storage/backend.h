@@ -103,7 +103,29 @@ struct FileBackendOptions {
   /// counter.  close()/rename visibility and flush() durability
   /// semantics are identical in both modes.
   bool direct_io = false;
+
+  /// Make close() crash-durable: fdatasync the object bytes before the
+  /// rename and fsync the parent directory after it, so a successfully
+  /// returned close() survives power loss — never a visible-but-empty
+  /// or lost object.  The rename alone orders visibility only within a
+  /// running kernel.  Costs two device syncs per object (counted in
+  /// storage.fsync_calls, timed in storage.publish_sync_ns, spanned as
+  /// ckpt.publish_sync); turn off only for stores whose loss is
+  /// acceptable (bench scratch, caches).
+  bool durable_publish = true;
 };
+
+/// Test-only fault hooks for the file writers (no-ops in production).
+namespace testing_hooks {
+/// Force the O_DIRECT block size instead of probing (0 = probe again).
+/// Lets tests exercise DirectFileWriter on filesystems whose probe
+/// would refuse O_DIRECT.
+void force_direct_block_size(std::size_t block);
+/// Make the next `n` data-write syscalls issued by DirectFileWriter
+/// fail with EINVAL (both the direct and the buffered path), so tests
+/// can drive the mid-write fallback/recovery logic on any filesystem.
+void fail_writes_einval(int n);
+}  // namespace testing_hooks
 
 /// Files under a directory; keys may contain '/' (subdirectories are
 /// created on demand).  Writes go to a ".tmp" sibling and are renamed

@@ -126,5 +126,34 @@ TEST(IoUtilTest, GenericReadFullHandlesChunkedSources) {
   EXPECT_EQ(read_full(bad, tiny).status().code(), ErrorCode::kIoError);
 }
 
+TEST(SendFullTest, MovesEveryByteAcrossASocketPair) {
+  int sv[2];
+  ASSERT_EQ(::socketpair(AF_UNIX, SOCK_STREAM, 0, sv), 0);
+  std::vector<std::byte> payload(100000, std::byte{0xab});
+  std::thread receiver([&] {
+    std::vector<std::byte> got(payload.size());
+    auto n = read_full(sv[1], got);
+    EXPECT_TRUE(n.is_ok());
+    EXPECT_EQ(*n, payload.size());
+    EXPECT_EQ(std::memcmp(got.data(), payload.data(), got.size()), 0);
+  });
+  EXPECT_TRUE(send_full(sv[0], payload).is_ok());
+  receiver.join();
+  ::close(sv[0]);
+  ::close(sv[1]);
+}
+
+TEST(SendFullTest, ClosedPeerIsAStatusNotSigpipe) {
+  int sv[2];
+  ASSERT_EQ(::socketpair(AF_UNIX, SOCK_STREAM, 0, sv), 0);
+  ::close(sv[1]);  // peer hangs up before we send
+  // With plain write() this would raise SIGPIPE and kill the test
+  // runner; MSG_NOSIGNAL turns it into EPIPE -> kIoError.
+  std::vector<std::byte> payload(4096, std::byte{0x01});
+  auto st = send_full(sv[0], payload);
+  EXPECT_EQ(st.code(), ErrorCode::kIoError);
+  ::close(sv[0]);
+}
+
 }  // namespace
 }  // namespace ickpt::ioutil

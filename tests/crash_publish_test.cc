@@ -1,0 +1,161 @@
+// Kill-during-publish crash tests.
+//
+// The durability contract (DESIGN.md §12): once close() returns OK
+// with durable publish on, the object survives a crash; an object
+// whose publish was interrupted is either completely present or
+// completely absent after reopen — never torn.  Each test forks a
+// child that writes objects forever and SIGKILLs it at a random
+// moment, then reopens the store in the parent and checks every
+// visible object is bit-exact.
+//
+// SIGKILL cannot be blocked or handled, so whatever the child was
+// inside — write(), fdatasync(), rename() — stops dead, which is as
+// close to a crash as a test can get without pulling power.  (True
+// power-loss testing needs dm-flakey or a VM; what this test pins
+// down is the atomicity of publish across process death.)
+#include <gtest/gtest.h>
+#include <signal.h>
+#include <sys/types.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <cstring>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "checkpoint/inspect.h"
+#include "common/crc32.h"
+#include "storage/backend.h"
+#include "storage/segment_backend.h"
+
+namespace ickpt::storage {
+namespace {
+
+namespace fs = std::filesystem;
+
+/// Deterministic payload for object `i`: size and bytes derived from
+/// the index, so the parent can verify content without shared state.
+std::vector<std::byte> payload_for(int i) {
+  std::vector<std::byte> data(1000 + 37 * static_cast<std::size_t>(i % 50));
+  for (std::size_t j = 0; j < data.size(); ++j) {
+    data[j] = static_cast<std::byte>((i * 131 + static_cast<int>(j)) & 0xff);
+  }
+  return data;
+}
+
+/// Child body: open the store and publish objects obj-0, obj-1, ...
+/// until SIGKILL arrives.  _exit on any error (the parent treats a
+/// non-signal exit as a test failure).
+[[noreturn]] void writer_child(const std::string& dir, bool segment) {
+  auto backend = segment ? make_segment_backend(dir)
+                         : make_file_backend(dir);
+  if (!backend.is_ok()) _exit(3);
+  for (int i = 0;; ++i) {
+    auto writer = (*backend)->create("obj-" + std::to_string(i));
+    if (!writer.is_ok()) _exit(4);
+    auto data = payload_for(i);
+    if (!(*writer)->write(data).is_ok()) _exit(5);
+    if (!(*writer)->close().is_ok()) _exit(6);
+  }
+}
+
+/// Fork a writer, let it publish for `grace_us`, SIGKILL it, reopen
+/// and verify: every visible object byte-exact, the visible prefix
+/// contiguous (no committed object missing below the highest one).
+void run_crash_round(const std::string& dir, bool segment,
+                     useconds_t grace_us) {
+  fs::remove_all(dir);
+  const pid_t pid = fork();
+  ASSERT_GE(pid, 0);
+  if (pid == 0) writer_child(dir, segment);
+
+  ::usleep(grace_us);
+  ASSERT_EQ(::kill(pid, SIGKILL), 0);
+  int wstatus = 0;
+  ASSERT_EQ(::waitpid(pid, &wstatus, 0), pid);
+  ASSERT_TRUE(WIFSIGNALED(wstatus))
+      << "child exited with " << WEXITSTATUS(wstatus)
+      << " instead of dying on SIGKILL";
+
+  auto backend = segment ? make_segment_backend(dir)
+                         : make_file_backend(dir);
+  ASSERT_TRUE(backend.is_ok()) << backend.status().message();
+  auto keys = (*backend)->list();
+  ASSERT_TRUE(keys.is_ok());
+
+  int highest = -1;
+  for (const auto& key : *keys) {
+    ASSERT_EQ(key.rfind("obj-", 0), 0u) << "unexpected key " << key;
+    const int i = std::stoi(key.substr(4));
+    highest = std::max(highest, i);
+
+    // Complete object or nothing: the bytes must match exactly.
+    auto reader = (*backend)->open(key);
+    ASSERT_TRUE(reader.is_ok());
+    const auto expected = payload_for(i);
+    ASSERT_EQ((*reader)->size(), expected.size())
+        << key << " is torn (size mismatch)";
+    std::vector<std::byte> got(expected.size());
+    std::size_t off = 0;
+    while (off < got.size()) {
+      auto n = (*reader)->read({got.data() + off, got.size() - off});
+      ASSERT_TRUE(n.is_ok());
+      ASSERT_GT(*n, 0u) << key << " is torn (short object)";
+      off += *n;
+    }
+    ASSERT_EQ(std::memcmp(got.data(), expected.data(), got.size()), 0)
+        << key << " is torn (content mismatch)";
+  }
+
+  // Durable publish means close()-returned == crash-survivable, so
+  // the committed prefix has no holes: if obj-N is visible, the child
+  // had finished close(obj-K) for every K < N.
+  for (int i = 0; i <= highest; ++i) {
+    EXPECT_TRUE((*backend)->exists("obj-" + std::to_string(i)))
+        << "obj-" << i << " lost below surviving obj-" << highest;
+  }
+}
+
+class CrashPublishTest : public ::testing::TestWithParam<std::string> {
+ protected:
+  std::string dir() const {
+    return ::testing::TempDir() + "/ickpt_crash_" + GetParam() + "_" +
+           std::to_string(::getpid());
+  }
+};
+
+TEST_P(CrashPublishTest, KillDuringPublishNeverTearsObjects) {
+  const bool segment = GetParam() == "segment";
+  // Several rounds at different kill points so the SIGKILL lands in
+  // different phases of the publish sequence across runs.
+  for (useconds_t grace : {2000u, 7000u, 15000u, 40000u}) {
+    run_crash_round(dir(), segment, grace);
+    if (HasFatalFailure()) return;
+  }
+  fs::remove_all(dir());
+}
+
+TEST_P(CrashPublishTest, FsckHealthyAfterKill) {
+  // fsck's store walk must also see nothing wrong — checkpoint-level
+  // health on top of object-level integrity.  The keys here are not
+  // checkpoint-format keys, so inspect_store reports them as unknown
+  // objects at worst; what must hold is that it does not crash and
+  // the walk completes.
+  const bool segment = GetParam() == "segment";
+  const std::string d = dir();
+  run_crash_round(d, segment, 10000);
+  if (HasFatalFailure()) return;
+  auto backend = segment ? make_segment_backend(d) : make_file_backend(d);
+  ASSERT_TRUE(backend.is_ok());
+  auto report = checkpoint::inspect_store(**backend);
+  ASSERT_TRUE(report.is_ok()) << report.status().message();
+  fs::remove_all(d);
+}
+
+INSTANTIATE_TEST_SUITE_P(Backends, CrashPublishTest,
+                         ::testing::Values("file", "segment"),
+                         [](const auto& info) { return info.param; });
+
+}  // namespace
+}  // namespace ickpt::storage

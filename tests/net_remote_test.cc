@@ -5,6 +5,8 @@
 #include "net/remote_backend.h"
 
 #include <gtest/gtest.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
 #include <unistd.h>
 
 #include <algorithm>
@@ -15,11 +17,14 @@
 #include "checkpoint/checkpointer.h"
 #include "checkpoint/inspect.h"
 #include "checkpoint/restore.h"
+#include "common/io_util.h"
 #include "common/rng.h"
+#include "net/wire.h"
 #include "memtrack/explicit_engine.h"
 #include "net/server.h"
 #include "region/address_space.h"
 #include "storage/backend.h"
+#include "storage/segment_backend.h"
 
 namespace ickpt::checkpoint {
 namespace {
@@ -243,6 +248,160 @@ TEST_F(NetRemoteTest, RestoreToleratesDamageTheSameWayOverTheNetwork) {
   auto recovered = restore_chain(*remote, 0, lenient);
   ASSERT_TRUE(recovered.is_ok()) << recovered.status().message();
   EXPECT_LT(recovered->sequence, pristine->sequence);
+}
+
+// Acceptance: the same chain pushed through a live daemon serving a
+// SegmentBackend restores byte-identically to a local FileBackend
+// chain — the network store works unchanged over the log-structured
+// layout (ickptd --backend=segment).
+TEST(NetSegmentStoreTest, ChainThroughSegmentServedDaemonMatchesFile) {
+  const std::string dir = ::testing::TempDir() + "/ickpt_net_segment_" +
+                          std::to_string(::getpid());
+  std::filesystem::remove_all(dir);
+
+  auto served = storage::make_segment_backend(dir + "/remote");
+  ASSERT_TRUE(served.is_ok()) << served.status().message();
+  auto server = net::Server::create(**served);
+  ASSERT_TRUE(server.is_ok()) << server.status().message();
+  std::thread serve_thread([&] { (void)(*server)->serve(); });
+
+  storage::RemoteBackendOptions options;
+  options.host = "127.0.0.1";
+  options.port = (*server)->port();
+  options.io_timeout_s = 10.0;
+  auto remote = storage::make_remote_backend(options);
+  ASSERT_TRUE(remote.is_ok()) << remote.status().message();
+
+  Harness remote_rank(remote->get());
+  remote_rank.build_chain();
+  auto local = storage::make_file_backend(dir + "/local");
+  ASSERT_TRUE(local.is_ok());
+  Harness local_rank(local->get());
+  local_rank.build_chain();
+
+  auto remote_keys = (*remote)->list();
+  auto local_keys = (*local)->list();
+  ASSERT_TRUE(remote_keys.is_ok() && local_keys.is_ok());
+  std::sort(remote_keys->begin(), remote_keys->end());
+  std::sort(local_keys->begin(), local_keys->end());
+  ASSERT_EQ(*remote_keys, *local_keys);
+  for (const auto& key : *remote_keys) {
+    auto via_net = read_object(**remote, key);
+    auto via_disk = read_object(**local, key);
+    ASSERT_EQ(via_net.size(), via_disk.size()) << key;
+    EXPECT_EQ(0,
+              std::memcmp(via_net.data(), via_disk.data(), via_net.size()))
+        << "byte mismatch in " << key;
+  }
+
+  auto via_net = restore_chain(**remote, 0);
+  auto via_disk = restore_chain(**local, 0);
+  ASSERT_TRUE(via_net.is_ok()) << via_net.status().message();
+  ASSERT_TRUE(via_disk.is_ok());
+  EXPECT_EQ(via_net->sequence, via_disk->sequence);
+  ASSERT_EQ(via_net->blocks.size(), via_disk->blocks.size());
+  auto ia = via_net->blocks.begin();
+  auto ib = via_disk->blocks.begin();
+  for (; ia != via_net->blocks.end(); ++ia, ++ib) {
+    ASSERT_EQ(ia->second.data.size(), ib->second.data.size());
+    EXPECT_EQ(0, std::memcmp(ia->second.data.data(),
+                             ib->second.data.data(),
+                             ia->second.data.size()))
+        << "restored block " << ia->first;
+  }
+
+  // fsck over the segment store through the daemon: healthy.
+  auto report = inspect_store(**remote);
+  ASSERT_TRUE(report.is_ok()) << report.status().message();
+  EXPECT_TRUE(report->healthy());
+
+  (*server)->stop();
+  serve_thread.join();
+  std::filesystem::remove_all(dir);
+}
+
+// Regression for the client send path: a daemon that hangs up in the
+// middle of an upload must surface as a Status from write()/close(),
+// not deliver SIGPIPE and kill the scientific application.  Before
+// the switch to send(MSG_NOSIGNAL) this test died on the signal.
+TEST(RemoteBackendSigpipeTest, ServerClosingMidPutReturnsStatus) {
+  int listen_fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  ASSERT_GE(listen_fd, 0);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = 0;
+  ASSERT_EQ(::bind(listen_fd, reinterpret_cast<sockaddr*>(&addr),
+                   sizeof addr),
+            0);
+  ASSERT_EQ(::listen(listen_fd, 1), 0);
+  socklen_t addr_len = sizeof addr;
+  ASSERT_EQ(::getsockname(listen_fd, reinterpret_cast<sockaddr*>(&addr),
+                          &addr_len),
+            0);
+  const std::uint16_t port = ntohs(addr.sin_port);
+
+  // Minimal fake daemon: answer the handshake and the PUT_BEGIN, then
+  // slam the door as soon as body data starts arriving.
+  std::thread fake([listen_fd] {
+    int cfd = ::accept(listen_fd, nullptr, nullptr);
+    if (cfd < 0) return;
+    auto read_frame = [cfd]() -> Result<net::FrameHeader> {
+      std::byte header_bytes[net::kFrameHeaderSize];
+      auto got = ioutil::read_full(cfd, header_bytes);
+      if (!got.is_ok() || *got < net::kFrameHeaderSize) {
+        return io_error("peer gone");
+      }
+      ICKPT_ASSIGN_OR_RETURN(
+          header, net::decode_frame_header(
+                      std::span<const std::byte, net::kFrameHeaderSize>(
+                          header_bytes)));
+      std::vector<std::byte> payload(header.len);
+      if (header.len > 0) {
+        auto body = ioutil::read_full(cfd, payload);
+        if (!body.is_ok()) return io_error("peer gone");
+      }
+      return header;
+    };
+    auto reply = [cfd](net::Verb verb) {
+      auto frame = net::build_frame(verb, {});
+      (void)ioutil::send_full(cfd, frame);
+    };
+    auto hello = read_frame();
+    if (hello.is_ok() && hello->verb == net::Verb::kHello) {
+      reply(net::Verb::kHelloOk);
+    }
+    auto put_begin = read_frame();
+    if (put_begin.is_ok() && put_begin->verb == net::Verb::kPutBegin) {
+      reply(net::Verb::kOk);
+    }
+    // First body frame header arrives... and the daemon dies mid-PUT.
+    (void)read_frame();
+    ::close(cfd);
+  });
+
+  storage::RemoteBackendOptions options;
+  options.host = "127.0.0.1";
+  options.port = port;
+  options.io_timeout_s = 10.0;
+  auto remote = storage::make_remote_backend(options);
+  ASSERT_TRUE(remote.is_ok()) << remote.status().message();
+
+  auto writer = (*remote)->create("victim");
+  ASSERT_TRUE(writer.is_ok()) << writer.status().message();
+
+  // Pump chunks until the broken pipe surfaces.  Early writes may land
+  // in the socket buffer; the close must eventually come back as a
+  // clean Status while this process stays alive.
+  std::vector<std::byte> chunk(net::kChunkSize, std::byte{0x5a});
+  Status st = Status::ok();
+  for (int i = 0; i < 512 && st.is_ok(); ++i) st = (*writer)->write(chunk);
+  EXPECT_FALSE(st.is_ok()) << "write never observed the hangup";
+  EXPECT_EQ(st.code(), ErrorCode::kIoError) << st.message();
+
+  writer->reset();  // abort path must also survive the dead socket
+  fake.join();
+  ::close(listen_fd);
 }
 
 }  // namespace

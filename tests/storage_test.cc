@@ -2,8 +2,11 @@
 
 #include <gtest/gtest.h>
 
+#include "storage/segment_backend.h"
+
 #include <cstring>
 #include <filesystem>
+#include <fstream>
 
 #include "obs/metrics.h"
 
@@ -31,18 +34,19 @@ class BackendParamTest
     : public ::testing::TestWithParam<std::string> {
  protected:
   void SetUp() override {
-    if (GetParam() == "file") {
-      dir_ = ::testing::TempDir() + "/ickpt_storage_test_" +
-             std::to_string(::getpid()) + "_" +
-             ::testing::UnitTest::GetInstance()
-                 ->current_test_info()
-                 ->name();
-      auto backend = make_file_backend(dir_);
-      ASSERT_TRUE(backend.is_ok());
-      backend_ = std::move(backend.value());
-    } else {
+    if (GetParam() == "memory") {
       backend_ = make_memory_backend();
+      return;
     }
+    dir_ = ::testing::TempDir() + "/ickpt_storage_test_" +
+           std::to_string(::getpid()) + "_" +
+           ::testing::UnitTest::GetInstance()
+               ->current_test_info()
+               ->name();
+    auto backend = GetParam() == "segment" ? make_segment_backend(dir_)
+                                           : make_file_backend(dir_);
+    ASSERT_TRUE(backend.is_ok());
+    backend_ = std::move(backend.value());
   }
   void TearDown() override {
     backend_.reset();
@@ -122,7 +126,7 @@ TEST_P(BackendParamTest, OpenMissingKeyFails) {
 }
 
 INSTANTIATE_TEST_SUITE_P(Backends, BackendParamTest,
-                         ::testing::Values("file", "memory"),
+                         ::testing::Values("file", "memory", "segment"),
                          [](const auto& info) { return info.param; });
 
 TEST(NullBackendTest, CountsAndDiscards) {
@@ -285,6 +289,135 @@ TEST(DirectIoTest, BufferedModeNeverTouchesFallbackCounter) {
   ASSERT_TRUE((*w)->write(as_bytes("plain buffered")).is_ok());
   ASSERT_TRUE((*w)->close().is_ok());
   EXPECT_EQ(fallbacks.value(), before);
+  std::filesystem::remove_all(dir);
+}
+
+TEST(DirectIoTest, MidWriteEinvalRecoversIntoCountedFallback) {
+  // A filesystem can accept the O_DIRECT probe/open and still reject a
+  // later write with EINVAL — including after the F_SETFL drop, which
+  // is advisory.  The fault hook injects exactly that: the writer must
+  // recover through the counted fallback path (never an opaque
+  // io_error) and produce byte-identical content.
+  std::string dir = ::testing::TempDir() + "/ickpt_dio_einval_test";
+  std::filesystem::remove_all(dir);
+  auto& fallbacks = obs::registry().counter("storage.direct_io_fallback");
+  const std::uint64_t before = fallbacks.value();
+
+  // Force the probe result so a DirectFileWriter is built even on
+  // tmpfs, where the real probe would refuse O_DIRECT.
+  testing_hooks::force_direct_block_size(512);
+  FileBackendOptions options;
+  options.direct_io = true;
+  auto backend = make_file_backend(dir, options);
+  ASSERT_TRUE(backend.is_ok());
+
+  std::string payload((1 << 20) + 13, 'e');
+  for (std::size_t i = 0; i < payload.size(); i += 11) payload[i] = 'E';
+  auto w = (*backend)->create("obj");
+  ASSERT_TRUE(w.is_ok());
+  testing_hooks::fail_writes_einval(1);
+  ASSERT_TRUE((*w)->write(as_bytes(payload)).is_ok());
+  ASSERT_TRUE((*w)->close().is_ok());
+  testing_hooks::fail_writes_einval(0);
+  testing_hooks::force_direct_block_size(0);
+
+  EXPECT_EQ(read_all(**backend, "obj"), payload);
+  EXPECT_GT(fallbacks.value(), before);
+  std::filesystem::remove_all(dir);
+}
+
+TEST(DirectIoTest, RepeatedEinvalAfterReopenIsAnError) {
+  // The buffered reopen happens at most once per writer; a filesystem
+  // that keeps EINVALing afterwards surfaces as a real error instead
+  // of looping.
+  std::string dir = ::testing::TempDir() + "/ickpt_dio_einval2_test";
+  std::filesystem::remove_all(dir);
+  testing_hooks::force_direct_block_size(512);
+  FileBackendOptions options;
+  options.direct_io = true;
+  auto backend = make_file_backend(dir, options);
+  ASSERT_TRUE(backend.is_ok());
+  auto w = (*backend)->create("obj");
+  ASSERT_TRUE(w.is_ok());
+  std::string payload(2 << 20, 'r');
+  testing_hooks::fail_writes_einval(1000);
+  auto st = (*w)->write(as_bytes(payload));
+  if (st.is_ok()) st = (*w)->close();
+  testing_hooks::fail_writes_einval(0);
+  testing_hooks::force_direct_block_size(0);
+  EXPECT_EQ(st.code(), ErrorCode::kIoError);
+  EXPECT_FALSE((*backend)->exists("obj"));
+  std::filesystem::remove_all(dir);
+}
+
+TEST(DurablePublishTest, CloseSyncsFileAndDirectory) {
+  std::string dir = ::testing::TempDir() + "/ickpt_durable_test";
+  std::filesystem::remove_all(dir);
+  auto& fsyncs = obs::registry().counter("storage.fsync_calls");
+
+  auto backend = make_file_backend(dir);  // durable_publish defaults on
+  ASSERT_TRUE(backend.is_ok());
+  const std::uint64_t before = fsyncs.value();
+  auto w = (*backend)->create("obj");
+  ASSERT_TRUE(w.is_ok());
+  ASSERT_TRUE((*w)->write(as_bytes("must survive")).is_ok());
+  ASSERT_TRUE((*w)->close().is_ok());
+  // fdatasync(file) before the rename + fsync(parent dir) after it.
+  EXPECT_GE(fsyncs.value() - before, 2u);
+  EXPECT_EQ(read_all(**backend, "obj"), "must survive");
+  std::filesystem::remove_all(dir);
+}
+
+TEST(DurablePublishTest, OptOutSkipsTheSyncs) {
+  std::string dir = ::testing::TempDir() + "/ickpt_nondurable_test";
+  std::filesystem::remove_all(dir);
+  auto& fsyncs = obs::registry().counter("storage.fsync_calls");
+
+  FileBackendOptions options;
+  options.durable_publish = false;
+  auto backend = make_file_backend(dir, options);
+  ASSERT_TRUE(backend.is_ok());
+  const std::uint64_t before = fsyncs.value();
+  auto w = (*backend)->create("obj");
+  ASSERT_TRUE(w.is_ok());
+  ASSERT_TRUE((*w)->write(as_bytes("scratch data")).is_ok());
+  ASSERT_TRUE((*w)->close().is_ok());
+  EXPECT_EQ(fsyncs.value(), before);
+  EXPECT_EQ(read_all(**backend, "obj"), "scratch data");
+  std::filesystem::remove_all(dir);
+}
+
+TEST(DurablePublishTest, SegmentCommitSyncsToo) {
+  std::string dir = ::testing::TempDir() + "/ickpt_segdurable_test";
+  std::filesystem::remove_all(dir);
+  auto& fsyncs = obs::registry().counter("storage.fsync_calls");
+  auto backend = make_segment_backend(dir);  // durable defaults on
+  ASSERT_TRUE(backend.is_ok());
+  const std::uint64_t before = fsyncs.value();
+  auto w = (*backend)->create("obj");
+  ASSERT_TRUE(w.is_ok());
+  ASSERT_TRUE((*w)->write(as_bytes("segment payload")).is_ok());
+  ASSERT_TRUE((*w)->close().is_ok());
+  EXPECT_GE(fsyncs.value() - before, 1u);
+  std::filesystem::remove_all(dir);
+}
+
+TEST(FileBackendTest, ListHidesUnpublishedTmpFiles) {
+  std::string dir = ::testing::TempDir() + "/ickpt_tmpskip_test";
+  std::filesystem::remove_all(dir);
+  auto backend = make_file_backend(dir);
+  ASSERT_TRUE(backend.is_ok());
+  auto w = (*backend)->create("real");
+  ASSERT_TRUE(w.is_ok());
+  ASSERT_TRUE((*w)->write(as_bytes("published")).is_ok());
+  ASSERT_TRUE((*w)->close().is_ok());
+  // A crash mid-publish leaves a ".tmp" sibling behind; it must stay
+  // invisible to list().
+  std::ofstream(dir + "/victim.tmp") << "half-written";
+  auto keys = (*backend)->list();
+  ASSERT_TRUE(keys.is_ok());
+  EXPECT_EQ(keys->size(), 1u);
+  EXPECT_EQ((*keys)[0], "real");
   std::filesystem::remove_all(dir);
 }
 

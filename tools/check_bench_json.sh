@@ -64,6 +64,49 @@ for f in "$@"; do
       continue
     fi
   fi
+  # X8 (bench "encode") must carry the storage-sink arms, including the
+  # many-small-objects pair that motivates the segment backend — and
+  # the segment arm must actually beat the one-file-per-object path.
+  if [ "$(jq -r '.bench' "$f")" = "encode" ]; then
+    if ! jq -e '[.arms[].name] |
+        (index("file_buffered_write") != null) and
+        (index("file_direct_write") != null) and
+        (index("segment_write") != null) and
+        (index("smallobj_file") != null) and
+        (index("smallobj_segment") != null)' "$f" > /dev/null; then
+      echo "FAIL $f: encode bench missing storage-sink arms" >&2
+      status=1
+      continue
+    fi
+    if ! jq -e '
+        ([.arms[] | select(.name == "smallobj_file")] | first | .wall_s) >
+        ([.arms[] | select(.name == "smallobj_segment")] | first | .wall_s)
+        ' "$f" > /dev/null; then
+      echo "FAIL $f: smallobj_segment did not beat smallobj_file" >&2
+      status=1
+      continue
+    fi
+  fi
+  # X9 (bench "restore") must carry both on-disk decode pairs.
+  if [ "$(jq -r '.bench' "$f")" = "restore" ]; then
+    if ! jq -e '[.arms[].name] |
+        (any(startswith("file_chain"))) and
+        (any(startswith("segment_chain")))' "$f" > /dev/null; then
+      echo "FAIL $f: restore bench missing on-disk chain arms" >&2
+      status=1
+      continue
+    fi
+  fi
+  # X11 (bench "net") must carry the segment-served arms.
+  if [ "$(jq -r '.bench' "$f")" = "net" ]; then
+    if ! jq -e '[.arms[].name] |
+        (any(startswith("segment_put"))) and
+        (any(startswith("segment_get")))' "$f" > /dev/null; then
+      echo "FAIL $f: net bench missing segment-served arms" >&2
+      status=1
+      continue
+    fi
+  fi
   echo "OK   $f ($(jq -r '.arms | length' "$f") arms)"
 done
 exit $status

@@ -23,8 +23,9 @@
 //       histogram record, enabled and idle scoped timer, trace emit)
 //       and print the resulting registry snapshot.
 //
-//   ickpt fsck DIR [--repair] [--trace FILE]
-//       Verify every checkpoint chain in a file-backend directory.
+//   ickpt fsck DIR [--repair] [--backend B] [--trace FILE]
+//       Verify every checkpoint chain in a local store directory
+//       (file or segment layout; auto-detected by default).
 //       With --repair, quarantine corrupt tails and orphans (moved
 //       under DIR/quarantine/, never deleted) so every rank keeps its
 //       newest restorable prefix, then re-verify.  An unhealthy store
@@ -35,9 +36,10 @@
 //       print the IWS per slice.
 //
 //   ickpt put KEY FILE / get KEY [FILE] / ls / del KEY
-//       Object-store operations against either a local file backend
-//       (--dir DIR) or a running ickptd (--addr HOST:PORT, optional
-//       --tenant).  `get` without FILE streams to stdout.  The same
+//       Object-store operations against either a local store
+//       (--dir DIR, file or segment layout via --backend) or a
+//       running ickptd (--addr HOST:PORT, optional --tenant).
+//       `get` without FILE streams to stdout.  The same
 //       code path the Checkpointer uses, so a put/get round trip is
 //       byte-exact.
 //
@@ -64,6 +66,7 @@
 #include "obs/timer.h"
 #include "obs/trace.h"
 #include "storage/backend.h"
+#include "storage/segment_backend.h"
 #include "trace/write_trace.h"
 
 namespace {
@@ -78,10 +81,12 @@ int usage() {
                "                   [--scale F] [--run-vs S] [--phase S]\n"
                "                   [--csv FILE] [--trace FILE]\n"
                "                   [--write-trace FILE]\n"
-               "                   [--ckpt-dir DIR] [--encode-threads N]\n"
+               "                   [--ckpt-dir DIR] [--segment-store]\n"
+               "                   [--encode-threads N]\n"
                "                   [--async] [--no-compress] [--stats]\n"
                "       ickpt stats [--iters N] [--json]\n"
-               "       ickpt fsck DIR [--repair] [--trace FILE]\n"
+               "       ickpt fsck DIR [--repair] [--backend B] "
+               "[--trace FILE]\n"
                "       ickpt replay TRACE.wt\n"
                "       ickpt put KEY FILE (--dir DIR | --addr HOST:PORT)\n"
                "                   [--tenant T] [--trace FILE]\n"
@@ -195,6 +200,9 @@ int cmd_study(int argc, char** argv) {
                    "save rank 0's write trace ('ickpt replay' reads it)");
   flags.add_string("ckpt-dir", &cfg.checkpoint_dir,
                    "write a real checkpoint chain to this directory");
+  flags.add_bool("segment-store", &cfg.segment_store,
+                 "store the chain in a log-structured segment store "
+                 "instead of one file per object");
   flags.add_int("encode-threads", &cfg.encode_threads,
                 "page-encode worker threads");
   flags.add_bool("async", &cfg.async_writes,
@@ -399,6 +407,22 @@ int cmd_stats(int argc, char** argv) {
   return 0;
 }
 
+/// Local-store backend selection shared by fsck and the store ops:
+/// "auto" sniffs the directory for segment files, "file"/"segment"
+/// force the choice.
+Result<std::unique_ptr<storage::StorageBackend>> open_local_store(
+    const std::string& dir, const std::string& backend) {
+  if (backend == "segment" ||
+      (backend == "auto" && storage::segment_store_present(dir))) {
+    return storage::make_segment_backend(dir);
+  }
+  if (backend != "auto" && backend != "file") {
+    return invalid_argument("unknown --backend '" + backend +
+                            "' (want file, segment or auto)");
+  }
+  return storage::make_file_backend(dir);
+}
+
 int cmd_fsck(int argc, char** argv) {
   if (argc < 3 || argv[2][0] == '-') return usage();
   const char* dir = argv[2];
@@ -406,10 +430,13 @@ int cmd_fsck(int argc, char** argv) {
   bool repair = false;
   bool help = false;
   std::string span_trace_path;
+  std::string backend_name = "auto";
   FlagSet flags("ickpt fsck DIR");
   flags.add_bool("repair", &repair,
                  "quarantine corrupt tails/orphans so every rank keeps "
                  "its newest restorable prefix");
+  flags.add_string("backend", &backend_name,
+                   "store layout: file|segment|auto (sniff the directory)");
   flags.add_string("trace", &span_trace_path,
                    "record span tracing and write Chrome/Perfetto "
                    "trace-event JSON here");
@@ -425,7 +452,7 @@ int cmd_fsck(int argc, char** argv) {
   // post-mortem dump next to the objects being checked.
   obs::flightrec::configure(dir);
 
-  auto backend = storage::make_file_backend(dir);
+  auto backend = open_local_store(dir, backend_name);
   if (!backend.is_ok()) {
     std::fprintf(stderr, "fsck: %s\n",
                  backend.status().to_string().c_str());
@@ -495,13 +522,16 @@ int cmd_fsck(int argc, char** argv) {
 struct StoreTarget {
   std::string dir;
   std::string addr;
+  std::string backend = "auto";
   std::string tenant = "default";
   std::string span_trace_path;
   bool help = false;
 };
 
 void add_store_flags(FlagSet& flags, StoreTarget* target) {
-  flags.add_string("dir", &target->dir, "local file-backend directory");
+  flags.add_string("dir", &target->dir, "local store directory");
+  flags.add_string("backend", &target->backend,
+                   "local store layout: file|segment|auto (sniff)");
   flags.add_string("addr", &target->addr, "remote ickptd HOST:PORT");
   flags.add_string("tenant", &target->tenant,
                    "tenant namespace on the daemon");
@@ -517,7 +547,9 @@ Result<std::unique_ptr<storage::StorageBackend>> open_store(
     return invalid_argument(
         "ickpt: exactly one of --dir and --addr is required");
   }
-  if (!target.dir.empty()) return storage::make_file_backend(target.dir);
+  if (!target.dir.empty()) {
+    return open_local_store(target.dir, target.backend);
+  }
   ICKPT_ASSIGN_OR_RETURN(host_port, net::parse_host_port(target.addr));
   storage::RemoteBackendOptions options;
   options.host = host_port.first;

@@ -1,11 +1,13 @@
 // ickptd — the network checkpoint store daemon.
 //
-//   ickptd --dir DIR [--bind ADDR] [--port N] [--port-file FILE]
-//          [--direct-io] [--max-inflight-mb N]
+//   ickptd --dir DIR [--backend file|segment] [--bind ADDR] [--port N]
+//          [--port-file FILE] [--direct-io] [--max-inflight-mb N]
 //          [--idle-timeout S] [--stats] [--trace FILE]
 //
-// Serves the wire protocol (docs/PROTOCOL.md) out of a FileBackend
-// rooted at DIR on a single epoll thread.  --port 0 (the default)
+// Serves the wire protocol (docs/PROTOCOL.md) out of a store rooted
+// at DIR — one file per object (the default) or a log-structured
+// segment store (--backend segment) — on a single epoll thread.
+// --port 0 (the default)
 // binds an ephemeral port; the chosen port is printed on stdout and,
 // with --port-file, written there too (how scripts and the bench
 // harness find it).  SIGINT/SIGTERM stop the loop cleanly; --stats
@@ -20,6 +22,7 @@
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "storage/backend.h"
+#include "storage/segment_backend.h"
 
 namespace {
 
@@ -43,8 +46,12 @@ int run(int argc, char** argv) {
   std::string span_trace_path;
   bool help = false;
 
+  std::string backend_name = "file";
   FlagSet flags("ickptd");
   flags.add_string("dir", &dir, "directory to serve (required)");
+  flags.add_string("backend", &backend_name,
+                   "store layout: file (one file per object) or "
+                   "segment (log-structured segment store)");
   flags.add_string("bind", &bind, "address to listen on");
   flags.add_int("port", &port, "TCP port (0 = ephemeral)");
   flags.add_string("port-file", &port_file,
@@ -86,9 +93,25 @@ int run(int argc, char** argv) {
     return 2;
   }
 
-  storage::FileBackendOptions file_options;
-  file_options.direct_io = direct_io;
-  auto backend = storage::make_file_backend(dir, file_options);
+  if (backend_name != "file" && backend_name != "segment") {
+    std::fprintf(stderr, "ickptd: unknown --backend '%s' "
+                 "(want file or segment)\n", backend_name.c_str());
+    return 2;
+  }
+  if (backend_name == "segment" && direct_io) {
+    std::fprintf(stderr, "ickptd: --direct-io applies only to "
+                 "--backend file\n");
+    return 2;
+  }
+
+  auto backend = [&] {
+    if (backend_name == "segment") {
+      return storage::make_segment_backend(dir);
+    }
+    storage::FileBackendOptions file_options;
+    file_options.direct_io = direct_io;
+    return storage::make_file_backend(dir, file_options);
+  }();
   if (!backend.is_ok()) {
     std::fprintf(stderr, "ickptd: %s\n",
                  backend.status().to_string().c_str());

@@ -68,6 +68,20 @@ OTHER=$("$ICKPT" ls --addr "$ADDR" --tenant other)
 "$ICKPT" get smoke/local "$WORK/payload.local" --dir "$STORE"
 cmp "$WORK/payload" "$WORK/payload.local"
 
+# Segment-store leg: the same round trip against the log-structured
+# backend, with --backend auto detecting the flavor on read-back and
+# fsck validating the store.
+SEGSTORE="$WORK/segstore"
+"$ICKPT" put smoke/seg-1 "$WORK/payload" --dir "$SEGSTORE" --backend segment
+"$ICKPT" get smoke/seg-1 "$WORK/payload.seg" --dir "$SEGSTORE"
+cmp "$WORK/payload" "$WORK/payload.seg"
+ls "$SEGSTORE"/seg-*.seg > /dev/null || { echo "no segment files"; exit 1; }
+FSCK_OUT=$("$ICKPT" fsck "$SEGSTORE")
+echo "$FSCK_OUT" | grep -q "HEALTHY" || {
+  echo "segment fsck not healthy:"; echo "$FSCK_OUT"; exit 1;
+}
+echo "segment store round trip + fsck OK"
+
 # Clean shutdown; --stats prints the metrics snapshot, which must
 # report zero protocol errors for this well-behaved exchange.
 kill -TERM "$DAEMON_PID"
